@@ -1,0 +1,108 @@
+// Ablations of the paper's design choices (DESIGN.md §3):
+//
+//   A. QP/CQ parallelism (§3.1, Figure 4): the device is configured with N
+//      CQs and N QPs per peer; the paper picks 4/4 "following the guideline
+//      in [Kalia et al.]". Sweep 1..8.
+//   B. Static vs forced-dynamic protocol on statically-shaped tensors (§3.3):
+//      the dynamic path pays metadata write + remote read per transfer.
+//   C. Polling interval of the polling-async scheduler (§4): longer idle
+//      intervals add receive latency; shorter ones burn CPU (in the
+//      simulation: events).
+#include "bench/bench_util.h"
+#include "src/models/model_spec.h"
+
+namespace rdmadl {
+namespace {
+
+void SweepQps() {
+  std::printf("\n[A] QP/CQ parallelism sweep (§3.1) — VGGNet-16, 8 servers, batch 32\n");
+  std::printf("%-12s | %12s\n", "CQs=QPs", "step (ms)");
+  bench::PrintRule();
+  for (int n : {1, 2, 4, 8}) {
+    train::TrainingConfig config;
+    config.model = models::Vgg16();
+    config.num_machines = 8;
+    config.batch_size = 32;
+    config.mechanism = train::MechanismKind::kRdmaZeroCopy;
+    config.num_cqs = n;
+    config.num_qps_per_peer = n;
+    bench::StepResult result = bench::MeasureConfig(config, 2, 2);
+    CHECK(result.ok()) << result.error;
+    std::printf("%-12d | %12.2f%s\n", n, result.step_ms,
+                n == 4 ? "   <- paper's configuration" : "");
+  }
+}
+
+void SweepProtocol() {
+  std::printf("\n[B] Static placement vs forced dynamic allocation (§3.2 vs §3.3)\n");
+  std::printf("Per-transfer comparison, 2 servers (one tensor per step):\n");
+  std::printf("%-12s | %12s %12s | %10s\n", "tensor", "static(ms)", "dynamic(ms)",
+              "overhead");
+  bench::PrintRule();
+  for (int64_t mb : {1, 8, 64}) {
+    double ms[2];
+    for (int dynamic = 0; dynamic < 2; ++dynamic) {
+      train::TrainingConfig config;
+      models::ModelSpec model;
+      model.name = "blob";
+      model.per_sample_time_ms = 0.0;
+      model.saturation_batch = 128;
+      models::LayerSpec layer;
+      layer.name = "blob";
+      layer.vars.push_back({"blob/W", tensor::TensorShape{mb * 256 * 1024}});
+      layer.activation_dim = 8;
+      model.layers.push_back(layer);
+      model.input_dim = 8;
+      config.model = model;
+      config.num_machines = 2;
+      config.batch_size = 1;
+      config.mechanism = train::MechanismKind::kRdmaZeroCopy;
+      config.force_dynamic = (dynamic == 1);
+      bench::StepResult result = bench::MeasureConfig(config, 2, 4);
+      CHECK(result.ok()) << result.error;
+      ms[dynamic] = result.step_ms;
+    }
+    std::printf("%10lld MB | %12.3f %12.3f | %9.1f%%\n", static_cast<long long>(mb), ms[0],
+                ms[1], (ms[1] / ms[0] - 1.0) * 100.0);
+  }
+  std::printf("The dynamic path adds a metadata write, a receiver-side allocation and a\n"
+              "read round-trip per tensor — why §3.2 prefers static placement when the\n"
+              "analyzer can prove shapes. (At 8-server fan-out the per-transfer gap is\n"
+              "masked by link-level serialization; see DESIGN.md.)\n");
+}
+
+void SweepPolling() {
+  std::printf("\n[C] Polling-async idle interval sweep (§4) — LSTM, 8 servers, batch 32\n");
+  std::printf("%-14s | %12s\n", "interval (us)", "step (ms)");
+  bench::PrintRule();
+  for (int64_t interval_ns : {250, 1'000, 8'000, 64'000, 512'000}) {
+    train::TrainingConfig config;
+    config.model = models::Lstm();
+    config.num_machines = 8;
+    config.batch_size = 32;
+    config.mechanism = train::MechanismKind::kRdmaZeroCopy;
+    config.cost.idle_poll_interval_ns = interval_ns;
+    config.cost.idle_poll_max_interval_ns = std::max<int64_t>(interval_ns, 16'000);
+    bench::StepResult result = bench::MeasureConfig(config, 2, 2);
+    CHECK(result.ok()) << result.error;
+    std::printf("%-14.1f | %12.2f\n", interval_ns / 1e3, result.step_ms);
+  }
+  std::printf("Coarse polling delays every tensor arrival; the paper's polling-async mode\n"
+              "keeps the interval effectively tiny by re-enqueueing polls at the ready-\n"
+              "queue tail so they run whenever the executor breathes.\n");
+}
+
+void Run() {
+  bench::PrintHeader("Ablations — design choices called out in DESIGN.md", "");
+  SweepQps();
+  SweepProtocol();
+  SweepPolling();
+}
+
+}  // namespace
+}  // namespace rdmadl
+
+int main() {
+  rdmadl::Run();
+  return 0;
+}

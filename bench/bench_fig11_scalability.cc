@@ -1,0 +1,76 @@
+// Regenerates Figure 11: scalability of LSTM, Inception-v3 and VGGNet-16 from
+// 1 to 8 servers (mini-batch 32), under gRPC.TCP, gRPC.RDMA and RDMA, plus
+// the pure-local single-machine implementation (no communication).
+//
+// Paper: LSTM and Inception scale >7x on 8 servers under both RDMA
+// mechanisms; VGG reaches 5.2x with our RDMA (>140 % over gRPC.RDMA at every
+// scale); with our RDMA all three pass the local implementation at 2 servers,
+// and the 8-server speedups over local are 5x / 7.9x / 4.3x.
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/models/model_spec.h"
+
+namespace rdmadl {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Figure 11 — Scalability (mini-batch 32)",
+                     "Aggregate throughput (samples/s) vs number of servers.");
+  const models::ModelSpec kModels[] = {models::Lstm(), models::InceptionV3(),
+                                       models::Vgg16()};
+  const train::MechanismKind kMechs[] = {train::MechanismKind::kGrpcTcp,
+                                         train::MechanismKind::kGrpcRdma,
+                                         train::MechanismKind::kRdmaZeroCopy};
+  constexpr int kBatch = 32;
+
+  for (const models::ModelSpec& model : kModels) {
+    // Pure local implementation: one machine, no PS, no communication.
+    train::TrainingConfig local;
+    local.model = model;
+    local.num_machines = 1;
+    local.batch_size = kBatch;
+    local.local_only = true;
+    bench::StepResult local_result = bench::MeasureConfig(local, 1, 2);
+    CHECK(local_result.ok()) << local_result.error;
+    const double local_sps = 1000.0 / local_result.step_ms * kBatch;
+
+    std::printf("\n--- %s ---\n", model.name.c_str());
+    std::printf("%-8s | %12s %12s %12s | %12s\n", "servers", "gRPC.TCP", "gRPC.RDMA", "RDMA",
+                "Local");
+    bench::PrintRule();
+    double rdma_single = 0;
+    double rdma_eight = 0;
+    for (int machines : {1, 2, 4, 8}) {
+      double sps[3];
+      for (int m = 0; m < 3; ++m) {
+        train::TrainingConfig config;
+        config.model = model;
+        config.num_machines = machines;
+        config.batch_size = kBatch;
+        config.mechanism = kMechs[m];
+        bench::StepResult result = bench::MeasureConfig(config, 2, 2);
+        CHECK(result.ok()) << result.error;
+        sps[m] = 1000.0 / result.step_ms * kBatch * machines;
+      }
+      if (machines == 1) rdma_single = sps[2];
+      if (machines == 8) rdma_eight = sps[2];
+      std::printf("%-8d | %12.1f %12.1f %12.1f | %12.1f\n", machines, sps[0], sps[1], sps[2],
+                  local_sps);
+    }
+    bench::PrintRule();
+    std::printf("RDMA speedup on 8 servers: %.1fx vs 1 server, %.1fx vs local\n",
+                rdma_eight / rdma_single, rdma_eight / local_sps);
+  }
+  bench::PrintRule();
+  std::printf("Paper: 8-server RDMA speedups vs local are 5x (LSTM), 7.9x (Inception),\n"
+              "4.3x (VGG); RDMA beats the local implementation from 2 servers on.\n");
+}
+
+}  // namespace
+}  // namespace rdmadl
+
+int main() {
+  rdmadl::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Regenerates Figure 7: the complementary cumulative distribution of variable
+// tensor sizes across all six benchmarks, plus the capacity statistics the
+// paper calls out (>50 % of tensors larger than 10 KB, >20 % larger than
+// 1 MB, and tensors over 1 MB holding 96 % of total capacity).
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/models/model_spec.h"
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Figure 7 — CCDF of variable tensor sizes",
+                     "P(tensor size >= x) over all variable tensors of the six benchmarks.");
+  std::vector<uint64_t> sizes;
+  uint64_t total_bytes = 0;
+  for (const models::ModelSpec& model : models::AllBenchmarkModels()) {
+    for (const auto& var : model.AllVariables()) {
+      sizes.push_back(var.bytes());
+      total_bytes += var.bytes();
+    }
+  }
+  std::sort(sizes.begin(), sizes.end());
+
+  std::printf("%-12s | %14s\n", "size >= x", "fraction");
+  bench::PrintRule();
+  for (uint64_t threshold = 64; threshold <= (256ull << 20); threshold *= 4) {
+    const auto it = std::lower_bound(sizes.begin(), sizes.end(), threshold);
+    const double frac = static_cast<double>(sizes.end() - it) / sizes.size();
+    std::printf("%-12s | %13.1f%%\n", HumanBytes(threshold).c_str(), frac * 100.0);
+  }
+  bench::PrintRule();
+
+  auto frac_above = [&](uint64_t threshold) {
+    const auto it = std::lower_bound(sizes.begin(), sizes.end(), threshold);
+    return static_cast<double>(sizes.end() - it) / sizes.size();
+  };
+  uint64_t bytes_above_1mb = 0;
+  for (uint64_t s : sizes) {
+    if (s > (1 << 20)) bytes_above_1mb += s;
+  }
+  const double capacity_share = static_cast<double>(bytes_above_1mb) / total_bytes;
+
+  std::printf("total variable tensors: %zu across 6 models\n", sizes.size());
+  std::printf("tensors > 10 KB: %5.1f%%   (paper: >50%%)\n", frac_above(10 * 1024) * 100);
+  std::printf("tensors >  1 MB: %5.1f%%   (paper: >20%%)\n", frac_above(1 << 20) * 100);
+  std::printf("capacity held by tensors > 1 MB: %5.1f%%   (paper: 96%%)\n",
+              capacity_share * 100);
+}
+
+}  // namespace
+}  // namespace rdmadl
+
+int main() {
+  rdmadl::Run();
+  return 0;
+}

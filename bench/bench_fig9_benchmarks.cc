@@ -1,0 +1,64 @@
+// Regenerates Figure 9: throughput (mini-batches/s) of the six deep learning
+// benchmarks on the 8-server cluster, for mini-batch sizes 1..64 (128 for the
+// communication-bound models), under gRPC.TCP, gRPC.RDMA, and our RDMA
+// mechanism. Also prints the average improvement of RDMA over gRPC.RDMA per
+// model, which the paper reports as: AlexNet 169 %, Inception-v3 65 %,
+// VGGNet-16 117-145 %, LSTM 118 %, GRU 69 %, FCN-5 151 %.
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/models/model_spec.h"
+
+namespace rdmadl {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Figure 9 — Deep learning benchmarks, 8 servers",
+                     "Throughput in mini-batches/s per mechanism and mini-batch size.");
+  const train::MechanismKind kMechs[] = {train::MechanismKind::kGrpcTcp,
+                                         train::MechanismKind::kGrpcRdma,
+                                         train::MechanismKind::kRdmaZeroCopy};
+  for (const models::ModelSpec& model : models::AllBenchmarkModels()) {
+    std::printf("\n--- %s (model %.1f MB, compute %.2f ms/sample) ---\n", model.name.c_str(),
+                model.SizeMb(), model.per_sample_time_ms);
+    std::printf("%-6s | %12s %12s %12s | %10s %10s\n", "batch", "gRPC.TCP", "gRPC.RDMA",
+                "RDMA", "RDMA/gR%", "RDMA/TCPx");
+    bench::PrintRule();
+    std::vector<int> batches = {1, 2, 4, 8, 16, 32, 64};
+    if (model.saturation_batch >= 128) batches.push_back(128);
+    double improvement_sum = 0;
+    int improvement_count = 0;
+    for (int batch : batches) {
+      double throughput[3];
+      for (int m = 0; m < 3; ++m) {
+        train::TrainingConfig config;
+        config.model = model;
+        config.num_machines = 8;
+        config.batch_size = batch;
+        config.mechanism = kMechs[m];
+        bench::StepResult result = bench::MeasureConfig(config, /*warmup=*/2, /*steps=*/2);
+        CHECK(result.ok()) << result.error;
+        throughput[m] = 1000.0 / result.step_ms;
+      }
+      const double improvement = (throughput[2] / throughput[1] - 1.0) * 100.0;
+      improvement_sum += improvement;
+      ++improvement_count;
+      std::printf("%-6d | %12.2f %12.2f %12.2f | %9.0f%% %9.1fx\n", batch, throughput[0],
+                  throughput[1], throughput[2], improvement, throughput[2] / throughput[0]);
+    }
+    std::printf("average RDMA improvement over gRPC.RDMA: %.0f%%\n",
+                improvement_sum / improvement_count);
+  }
+  bench::PrintRule();
+  std::printf("Paper (avg improvement of RDMA over gRPC.RDMA): AlexNet 169%%, "
+              "Inception-v3 65%%,\nVGGNet-16 117-145%%, LSTM 118%%, GRU 69%%, FCN-5 151%%; "
+              "25x over gRPC.TCP for VGG.\n");
+}
+
+}  // namespace
+}  // namespace rdmadl
+
+int main() {
+  rdmadl::Run();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Wall-clock microbenchmarks of the library's hot components, using
+// google-benchmark. These measure the *implementation* (how fast the
+// simulator and allocators run on the build machine), complementing the
+// paper-reproduction benches which measure *virtual* time.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/ops/kernel.h"
+#include "src/sim/simulator.h"
+#include "src/tensor/arena_allocator.h"
+#include "src/tensor/tensor.h"
+
+namespace rdmadl {
+namespace {
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int64_t counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.ScheduleAt(i, [&counter]() { ++counter; });
+    }
+    benchmark::DoNotOptimize(simulator.Run());
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_ArenaAllocateFree(benchmark::State& state) {
+  std::vector<uint8_t> storage(64 << 20);
+  tensor::ArenaAllocator arena(storage.data(), storage.size(), "bench");
+  const size_t size = state.range(0);
+  for (auto _ : state) {
+    void* p = arena.Allocate(size);
+    benchmark::DoNotOptimize(p);
+    arena.Deallocate(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArenaAllocateFree)->Arg(256)->Arg(64 << 10)->Arg(4 << 20);
+
+void BM_ArenaFragmentationChurn(benchmark::State& state) {
+  std::vector<uint8_t> storage(64 << 20);
+  tensor::ArenaAllocator arena(storage.data(), storage.size(), "bench");
+  sim::Rng rng(11);
+  std::vector<void*> live;
+  for (auto _ : state) {
+    if (live.size() < 256 && (live.empty() || rng.UniformDouble() < 0.6)) {
+      void* p = arena.Allocate(64 + rng.Uniform(32 << 10));
+      if (p != nullptr) live.push_back(p);
+    } else if (!live.empty()) {
+      size_t idx = rng.Uniform(live.size());
+      arena.Deallocate(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  for (void* p : live) arena.Deallocate(p);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArenaFragmentationChurn);
+
+void BM_MatMulKernel(benchmark::State& state) {
+  ops::RegisterStandardOps();
+  const int64_t n = state.range(0);
+  graph::Graph graph;
+  graph::Node* node = *graph.AddNode("mm", "MatMul", std::vector<graph::Node*>{});
+  auto kernel = ops::KernelRegistry::Global()->Create(*node);
+  tensor::Tensor a(tensor::CpuAllocator::Get(), tensor::DType::kFloat32,
+                   tensor::TensorShape{n, n});
+  tensor::Tensor b(tensor::CpuAllocator::Get(), tensor::DType::kFloat32,
+                   tensor::TensorShape{n, n});
+  ops::ResourceManager resources(1);
+  for (auto _ : state) {
+    ops::OpKernelContext ctx(node, {a, b}, tensor::CpuAllocator::Get(),
+                             ops::ComputeMode::kReal, &resources, nullptr);
+    benchmark::DoNotOptimize((*kernel)->Compute(&ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n * 2);
+}
+BENCHMARK(BM_MatMulKernel)->Arg(16)->Arg(64);
+
+void BM_GraphTopologicalSort(benchmark::State& state) {
+  ops::RegisterStandardOps();
+  graph::Graph graph;
+  graph::Node* prev = *graph.AddNode("n0", "Const", std::vector<graph::Node*>{});
+  for (int i = 1; i < 500; ++i) {
+    prev = *graph.AddNode("n" + std::to_string(i), "Identity", {prev});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.TopologicalOrder());
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_GraphTopologicalSort);
+
+}  // namespace
+}  // namespace rdmadl
+
+BENCHMARK_MAIN();

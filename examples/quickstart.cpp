@@ -1,0 +1,91 @@
+// Quickstart: the RDMA device library in five minutes.
+//
+// Demonstrates the paper's Table 1 interface directly, with no deep learning
+// runtime on top: create two RDMA devices on a simulated 2-server cluster,
+// allocate RDMA-accessible memory, distribute the receive buffer's address
+// over the library's vanilla RPC, and move a payload with a one-sided
+// zero-copy Memcpy — then verify the bytes arrived intact.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+
+#include "src/device/rdma_device.h"
+#include "src/net/fabric.h"
+#include "src/rdma/verbs.h"
+#include "src/sim/simulator.h"
+#include "src/util/strings.h"
+
+using namespace rdmadl;  // NOLINT: example brevity.
+
+int main() {
+  // 1. A simulated 2-server cluster: event kernel, network fabric, one RDMA
+  //    NIC per host (100 Gbps, ~2 us RTT by default; see net::CostModel).
+  sim::Simulator simulator;
+  net::CostModel cost;
+  net::Fabric fabric(&simulator, cost, /*num_hosts=*/2);
+  rdma::RdmaFabric rdma_fabric(&fabric);
+  device::DeviceDirectory directory(&rdma_fabric);
+
+  // 2. One RDMA device per server process (Table 1: CreateRdmaDevice). The
+  //    paper's deployment uses 4 completion queues and 4 QPs per peer.
+  auto sender = device::RdmaDevice::Create(&directory, /*num_cqs=*/4,
+                                           /*num_qps_per_peer=*/4, Endpoint{0, 7000});
+  auto receiver = device::RdmaDevice::Create(&directory, 4, 4, Endpoint{1, 7000});
+  CHECK_OK(sender.status());
+  CHECK_OK(receiver.status());
+
+  // 3. RDMA-accessible memory on both ends (Table 1: AllocateMemRegion).
+  constexpr uint64_t kTensorBytes = 1 << 20;  // A 1 MB "tensor".
+  auto src_region = (*sender)->AllocateMemRegion(kTensorBytes);
+  auto dst_region = (*receiver)->AllocateMemRegion(kTensorBytes);
+  CHECK_OK(src_region.status());
+  CHECK_OK(dst_region.status());
+  std::iota(src_region->data(), src_region->data() + kTensorBytes, 0);
+  std::memset(dst_region->data(), 0, kTensorBytes);
+
+  // 4. The receiver publishes its buffer address through the library's
+  //    vanilla send/recv RPC — the §3.2 address-distribution step, off the
+  //    critical path.
+  (*receiver)->RegisterRpcHandler("get_buffer", [&](const std::vector<uint8_t>&) {
+    std::vector<uint8_t> encoded;
+    dst_region->Remote().EncodeTo(&encoded);
+    return encoded;
+  });
+
+  // 5. Fetch the address, then fire a one-sided zero-copy write over a
+  //    channel (Table 1: GetChannel + RdmaChannel::Memcpy).
+  bool transferred = false;
+  int64_t transfer_started_ns = 0;
+  (*sender)->Call(
+      Endpoint{1, 7000}, "get_buffer", {},
+      [&](const Status& status, const std::vector<uint8_t>& response) {
+        CHECK_OK(status);
+        auto remote = device::RemoteRegion::Decode(response.data(), response.size());
+        CHECK_OK(remote.status());
+        auto channel = (*sender)->GetChannel(Endpoint{1, 7000}, /*qp_idx=*/0);
+        CHECK_OK(channel.status());
+        transfer_started_ns = simulator.Now();
+        (*channel)->Memcpy(reinterpret_cast<uint64_t>(src_region->data()), *src_region,
+                           remote->addr, *remote, kTensorBytes,
+                           device::Direction::kLocalToRemote, [&](const Status& s) {
+                             CHECK_OK(s);
+                             transferred = true;
+                           });
+      });
+
+  // 6. Run the virtual clock until the transfer completes.
+  CHECK_OK(simulator.Run());
+  CHECK(transferred);
+  CHECK(std::memcmp(src_region->data(), dst_region->data(), kTensorBytes) == 0);
+
+  const int64_t elapsed = simulator.Now() - transfer_started_ns;
+  std::printf("quickstart: moved %s by one-sided RDMA write in %s of virtual time\n",
+              HumanBytes(kTensorBytes).c_str(), HumanDuration(elapsed).c_str());
+  std::printf("            effective bandwidth: %.2f GB/s (NIC line rate: %.2f GB/s)\n",
+              kTensorBytes / (elapsed / 1e9) / 1e9, cost.rdma_bandwidth_bytes_per_sec / 1e9);
+  std::printf("            bytes verified identical on the receiver.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Dynamic allocation-site analysis (§3.4, "Decide tensor allocation site").
+//
+// During the first mini-batch iteration the executor's tensor allocator is
+// instrumented: every allocation records (buffer address -> allocating graph
+// node), latest write wins. When a _Send node transfers a tensor, the address
+// map reveals which node actually allocated that buffer — which is not
+// necessarily the _Send's direct predecessor, because ops like Identity,
+// Reshape and ApplySgd pass buffers through without allocating. Those
+// allocation sites form the set S; in subsequent iterations the runtime
+// redirects allocations by nodes in S to the RDMA-registered arena, making
+// every to-be-transferred tensor RDMA-accessible with no extra copy.
+#ifndef RDMADL_SRC_ANALYZER_ALLOCATION_TRACER_H_
+#define RDMADL_SRC_ANALYZER_ALLOCATION_TRACER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace rdmadl {
+namespace analyzer {
+
+class AllocationSiteTracer {
+ public:
+  // An allocation site: (graph node id, i-th allocation within one execution
+  // of that node). Our kernels allocate exactly one output, so the index is
+  // almost always 0, but the pair is kept for fidelity to the paper.
+  using Site = std::pair<int, int>;
+
+  bool tracing() const { return tracing_; }
+  void set_tracing(bool tracing) { tracing_ = tracing; }
+
+  // Marks the start of one node execution (resets its allocation counter).
+  void BeginNodeExecution(int node_id) { alloc_index_ = 0; }
+
+  // Records one allocation by |node_id| at |ptr| (only while tracing).
+  void RecordAllocation(int node_id, const void* ptr, size_t bytes) {
+    if (!tracing_) return;
+    by_addr_[ptr] = Site{node_id, alloc_index_++};  // Latest info wins.
+  }
+
+  // Called when a tensor at |ptr| is about to be transferred: promotes its
+  // allocation site into set S. Returns true if the site was known.
+  bool RecordTransfer(const void* ptr) {
+    auto it = by_addr_.find(ptr);
+    if (it == by_addr_.end()) return false;
+    hot_sites_.insert(it->second);
+    return true;
+  }
+
+  // Whether allocations of |node_id| should come from the RDMA arena.
+  bool InHotSet(int node_id) const {
+    // Any allocation index of the node qualifies (kernels allocate once).
+    auto it = hot_sites_.lower_bound(Site{node_id, 0});
+    return it != hot_sites_.end() && it->first == node_id;
+  }
+
+  size_t hot_set_size() const { return hot_sites_.size(); }
+  size_t traced_addresses() const { return by_addr_.size(); }
+
+ private:
+  bool tracing_ = false;
+  int alloc_index_ = 0;
+  std::unordered_map<const void*, Site> by_addr_;
+  std::set<Site> hot_sites_;
+};
+
+}  // namespace analyzer
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_ANALYZER_ALLOCATION_TRACER_H_

@@ -1,0 +1,44 @@
+#include "src/analyzer/shape_inference.h"
+
+#include <vector>
+
+#include "src/graph/op_registry.h"
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace analyzer {
+
+Status RunShapeInference(graph::Graph* graph) {
+  RDMADL_ASSIGN_OR_RETURN(std::vector<graph::Node*> order, graph->TopologicalOrder());
+  for (graph::Node* node : order) {
+    const graph::OpDef* def = graph::OpRegistry::Global()->Find(node->op());
+    if (def == nullptr) {
+      return NotFound(StrCat("op not registered: ", node->op()));
+    }
+    std::vector<tensor::TensorShape> input_shapes;
+    input_shapes.reserve(node->inputs().size());
+    for (const graph::NodeInput& in : node->inputs()) {
+      input_shapes.push_back(in.node->output_shape());
+    }
+    tensor::TensorShape out;
+    RDMADL_RETURN_IF_ERROR(def->shape_fn(*node, input_shapes, &out));
+    node->set_output_shape(std::move(out));
+  }
+  return OkStatus();
+}
+
+ShapeInferenceStats ComputeShapeStats(const graph::Graph& graph) {
+  ShapeInferenceStats stats;
+  for (const auto& node : graph.nodes()) {
+    ++stats.total_nodes;
+    if (node->has_static_shape()) {
+      ++stats.static_nodes;
+    } else {
+      ++stats.dynamic_nodes;
+    }
+  }
+  return stats;
+}
+
+}  // namespace analyzer
+}  // namespace rdmadl

@@ -1,0 +1,31 @@
+// Static shape inference (§3.4, "Preallocate data buffers", step 1):
+// starting from the tensors whose shapes the program states explicitly
+// (Variable/Const/Placeholder attrs), propagate shapes through every node's
+// shape-inference function in topological order. Afterwards each node's
+// output_shape() is either fully defined — eligible for the static-placement
+// transfer of §3.2 — or partially unknown, requiring the dynamic-allocation
+// transfer of §3.3.
+#ifndef RDMADL_SRC_ANALYZER_SHAPE_INFERENCE_H_
+#define RDMADL_SRC_ANALYZER_SHAPE_INFERENCE_H_
+
+#include "src/graph/graph.h"
+#include "src/util/status.h"
+
+namespace rdmadl {
+namespace analyzer {
+
+// Annotates every node of |graph| with its inferred output shape.
+Status RunShapeInference(graph::Graph* graph);
+
+// Statistics over a graph's inferred shapes (used by reports and tests).
+struct ShapeInferenceStats {
+  int total_nodes = 0;
+  int static_nodes = 0;   // Fully defined output shape.
+  int dynamic_nodes = 0;  // At least one unknown dimension.
+};
+ShapeInferenceStats ComputeShapeStats(const graph::Graph& graph);
+
+}  // namespace analyzer
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_ANALYZER_SHAPE_INFERENCE_H_

@@ -1,0 +1,575 @@
+#include "src/comm/zerocopy_mechanism.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace comm {
+
+using device::Direction;
+using device::RemoteRegion;
+using runtime::HostRuntime;
+using runtime::RdmaArena;
+using tensor::Tensor;
+
+namespace {
+
+// Metadata block layout (§3.3): sizes are fixed because the tensor rank is
+// fixed across mini-batches even when dimensions vary.
+//   [u32 dtype][u32 ndims][i64 dims[rank]][u64 src_addr][u32 src_rkey]
+//   [u64 payload_bytes][u8 flag]
+size_t MetadataBytes(int rank) { return 4 + 4 + 8 * rank + 8 + 4 + 8 + 1; }
+
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+struct ZeroCopyRdmaMechanism::EdgeState {
+  graph::TransferEdge edge;
+  Protocol protocol = Protocol::kStatic;
+  HostRuntime* src = nullptr;
+  HostRuntime* dst = nullptr;
+  device::RdmaChannel* channel = nullptr;       // src -> dst, carries writes.
+  device::RdmaChannel* read_channel = nullptr;  // dst -> src, carries reads.
+
+  // ---- Receiver state ----
+  RecvPhase phase = RecvPhase::kWaiting;
+  Tensor recv_tensor;            // Static: preallocated once; dynamic: per arrival.
+  uint8_t* flag_ptr = nullptr;   // Always-real completion flag polled by RdmaRecv.
+  uint8_t* meta_block = nullptr; // Dynamic: metadata block in dst's meta arena.
+  size_t meta_bytes = 0;
+  bool dst_gpu_staging = false;  // Static receive needs a PCIe H2D after the flag.
+
+  // ---- Sender-side knowledge (filled by address distribution) ----
+  RemoteRegion remote_data;
+  RemoteRegion remote_flag;
+  RemoteRegion remote_meta;
+  uint8_t* src_meta_staging = nullptr;  // Sender-side metadata build buffer.
+  uint32_t src_meta_lkey = 0;
+
+  // Keeps sender buffers alive until the receiver's read has certainly
+  // finished (released at the next step boundary).
+  Tensor hold;
+  std::vector<void*> staging_to_free_at_step;  // Freed on BeginStep (dynamic staging).
+};
+
+ZeroCopyRdmaMechanism::ZeroCopyRdmaMechanism(runtime::Cluster* cluster, ZeroCopyOptions options)
+    : cluster_(cluster), options_(options) {}
+
+ZeroCopyRdmaMechanism::~ZeroCopyRdmaMechanism() = default;
+
+void ZeroCopyRdmaMechanism::Setup(const std::vector<graph::TransferEdge>& edges,
+                                  std::function<void(Status)> done) {
+  // Pass 1: size the per-process RDMA arenas (§3.4: one large registration).
+  std::map<HostRuntime*, uint64_t> need;
+  for (const graph::TransferEdge& edge : edges) {
+    HostRuntime* src = cluster_->host(edge.src_device);
+    HostRuntime* dst = cluster_->host(edge.dst_device);
+    if (edge.shape.IsFullyDefined()) {
+      const uint64_t bytes =
+          edge.shape.num_elements() * tensor::DTypeSize(edge.dtype);
+      need[dst] += bytes + tensor::Allocator::kAlignment;
+      need[src] += bytes + tensor::Allocator::kAlignment;  // Staging worst case.
+    }
+  }
+  for (auto& [host, bytes] : need) {
+    StatusOr<RdmaArena*> arena = host->EnsureRdmaArena(bytes);
+    if (!arena.ok()) {
+      cluster_->simulator()->ScheduleAfter(
+          0, [done = std::move(done), s = arena.status()]() { done(s); });
+      return;
+    }
+  }
+
+  // Pass 2: receiver-side preallocation and RPC handler registration.
+  Status setup_status = OkStatus();
+  for (const graph::TransferEdge& edge : edges) {
+    auto state = std::make_unique<EdgeState>();
+    state->edge = edge;
+    state->src = cluster_->host(edge.src_device);
+    state->dst = cluster_->host(edge.dst_device);
+    Status s = SetupEdge(state.get());
+    if (!s.ok()) {
+      setup_status = s;
+      break;
+    }
+    if (options_.graph_analysis) {
+      analysis(state->src).static_producers.insert(edge.producer);
+    }
+    edges_[edge.key] = std::move(state);
+  }
+  if (!setup_status.ok()) {
+    cluster_->simulator()->ScheduleAfter(
+        0, [done = std::move(done), setup_status]() { done(setup_status); });
+    return;
+  }
+
+  // Every receiving device answers address queries for its edges.
+  std::set<HostRuntime*> receivers;
+  for (auto& [key, state] : edges_) receivers.insert(state->dst);
+  for (HostRuntime* dst : receivers) {
+    dst->rdma_device()->RegisterRpcHandler(
+        "zc_addr", [this](const std::vector<uint8_t>& request) {
+          const std::string key(request.begin(), request.end());
+          std::vector<uint8_t> response;
+          auto it = edges_.find(key);
+          if (it == edges_.end()) return response;  // Empty => error at caller.
+          EdgeState* s = it->second.get();
+          response.push_back(s->protocol == Protocol::kStatic ? 0 : 1);
+          s->remote_data.EncodeTo(&response);
+          s->remote_flag.EncodeTo(&response);
+          s->remote_meta.EncodeTo(&response);
+          return response;
+        });
+  }
+
+  // Pass 3: every sender fetches the remote addresses over the vanilla RPC
+  // (§3.2: "its address ... is distributed to the server that holds the
+  // remote upstream tensor before the computation").
+  auto pending = std::make_shared<int>(static_cast<int>(edges_.size()));
+  auto first_error = std::make_shared<Status>();
+  auto done_shared = std::make_shared<std::function<void(Status)>>(std::move(done));
+  if (*pending == 0) {
+    cluster_->simulator()->ScheduleAfter(0, [done_shared]() { (*done_shared)(OkStatus()); });
+    return;
+  }
+  for (auto& [key, state] : edges_) {
+    EdgeState* s = state.get();
+    std::vector<uint8_t> payload(key.begin(), key.end());
+    s->src->rdma_device()->Call(
+        s->dst->endpoint(), "zc_addr", std::move(payload),
+        [s, pending, first_error, done_shared](const Status& status,
+                                               const std::vector<uint8_t>& response) {
+          if (!status.ok()) {
+            if (first_error->ok()) *first_error = status;
+          } else if (response.size() < 1 + 3 * RemoteRegion::kWireSize) {
+            if (first_error->ok()) {
+              *first_error = Internal("short zc_addr response for " + s->edge.key);
+            }
+          } else {
+            // Decode and install; the decoded values must round-trip the wire.
+            const uint8_t* p = response.data() + 1;
+            s->remote_data = *RemoteRegion::Decode(p, RemoteRegion::kWireSize);
+            p += RemoteRegion::kWireSize;
+            s->remote_flag = *RemoteRegion::Decode(p, RemoteRegion::kWireSize);
+            p += RemoteRegion::kWireSize;
+            s->remote_meta = *RemoteRegion::Decode(p, RemoteRegion::kWireSize);
+          }
+          if (--*pending == 0) {
+            (*done_shared)(*first_error);
+          }
+        });
+  }
+}
+
+Status ZeroCopyRdmaMechanism::SetupEdge(EdgeState* s) {
+  const graph::TransferEdge& edge = s->edge;
+  const bool src_gdr = s->src->options().tensors_on_gpu && s->src->options().gpudirect;
+  const bool dst_gdr = s->dst->options().tensors_on_gpu && s->dst->options().gpudirect;
+  const bool shape_static = edge.shape.IsFullyDefined();
+  // §3.5: GPUDirect edges always use the dynamic protocol (polling GPU memory
+  // is impractical; metadata stays in host memory).
+  if (shape_static && !options_.force_dynamic && !src_gdr && !dst_gdr) {
+    s->protocol = Protocol::kStatic;
+  } else {
+    s->protocol = Protocol::kDynamic;
+    if (!shape_static && edge.shape.num_dims() == 0) {
+      return InvalidArgument(StrCat("edge ", edge.key, " has unknown rank"));
+    }
+  }
+
+  RDMADL_ASSIGN_OR_RETURN(RdmaArena * dst_meta, s->dst->meta_arena());
+  RDMADL_ASSIGN_OR_RETURN(RdmaArena * src_meta, s->src->meta_arena());
+
+  if (s->protocol == Protocol::kStatic) {
+    const uint64_t bytes = edge.shape.num_elements() * tensor::DTypeSize(edge.dtype);
+    RDMADL_ASSIGN_OR_RETURN(RdmaArena * dst_arena, s->dst->rdma_arena());
+    // +1: room for the tail completion flag (§3.2).
+    uint8_t* buf = static_cast<uint8_t*>(dst_arena->allocator->Allocate(bytes + 1));
+    if (buf == nullptr) {
+      return ResourceExhausted(StrCat("receive arena exhausted on ", edge.dst_device));
+    }
+    auto buffer = std::make_shared<tensor::Buffer>(buf, bytes + 1);
+    s->recv_tensor = Tensor(std::move(buffer), edge.dtype, edge.shape);
+    s->remote_data = RemoteRegion{reinterpret_cast<uint64_t>(buf), dst_arena->rkey, bytes};
+    if (s->dst->real_memory()) {
+      // Paper layout: flag byte at the tail of the tensor memory region.
+      s->flag_ptr = buf + bytes;
+      s->remote_flag = RemoteRegion{reinterpret_cast<uint64_t>(s->flag_ptr),
+                                    dst_arena->rkey, 1};
+      *s->flag_ptr = 0;
+    } else {
+      // Virtual-memory mode: the data buffer is a fake address, so the flag
+      // lives in the always-real metadata arena instead.
+      s->flag_ptr = static_cast<uint8_t*>(dst_meta->allocator->Allocate(1));
+      if (s->flag_ptr == nullptr) return ResourceExhausted("meta arena exhausted");
+      s->remote_flag =
+          RemoteRegion{reinterpret_cast<uint64_t>(s->flag_ptr), dst_meta->rkey, 1};
+      *s->flag_ptr = 0;
+    }
+    s->dst_gpu_staging =
+        s->dst->options().tensors_on_gpu && !s->dst->options().gpudirect;
+  } else {
+    s->meta_bytes = MetadataBytes(edge.shape.num_dims());
+    s->meta_block = static_cast<uint8_t*>(dst_meta->allocator->Allocate(s->meta_bytes));
+    if (s->meta_block == nullptr) return ResourceExhausted("meta arena exhausted");
+    std::memset(s->meta_block, 0, s->meta_bytes);
+    s->flag_ptr = s->meta_block + s->meta_bytes - 1;
+    s->remote_meta = RemoteRegion{reinterpret_cast<uint64_t>(s->meta_block), dst_meta->rkey,
+                                  s->meta_bytes};
+    s->src_meta_staging =
+        static_cast<uint8_t*>(src_meta->allocator->Allocate(s->meta_bytes));
+    if (s->src_meta_staging == nullptr) return ResourceExhausted("meta arena exhausted");
+    s->src_meta_lkey = src_meta->lkey;
+  }
+
+  // Channels: spread edges across the configured QPs (§3.1 / Figure 4).
+  const int qp_count = s->src->options().num_qps_per_peer;
+  const int qp_idx = static_cast<int>(edges_.size()) % qp_count;
+  RDMADL_ASSIGN_OR_RETURN(s->channel,
+                          s->src->rdma_device()->GetChannel(s->dst->endpoint(), qp_idx));
+  RDMADL_ASSIGN_OR_RETURN(s->read_channel,
+                          s->dst->rdma_device()->GetChannel(s->src->endpoint(), qp_idx));
+  return OkStatus();
+}
+
+void ZeroCopyRdmaMechanism::BeginStep(int64_t step) {
+  step_ = step;
+  const bool tracing = options_.graph_analysis && step == 0;
+  for (auto& [host, a] : analysis_) {
+    a.tracer.set_tracing(tracing);
+  }
+  if (options_.graph_analysis && step == 0) {
+    // Tracers may not exist yet for hosts that have not executed a node;
+    // they are created lazily with tracing enabled via this flag.
+    tracing_step_ = true;
+  } else {
+    tracing_step_ = false;
+  }
+  for (auto& [key, state] : edges_) {
+    state->hold = Tensor();
+    if (!state->staging_to_free_at_step.empty()) {
+      StatusOr<RdmaArena*> arena = state->src->rdma_arena();
+      if (arena.ok()) {
+        for (void* ptr : state->staging_to_free_at_step) {
+          (*arena)->allocator->Deallocate(ptr);
+        }
+      }
+      state->staging_to_free_at_step.clear();
+    }
+  }
+}
+
+tensor::Allocator* ZeroCopyRdmaMechanism::AllocatorForNode(HostRuntime* host,
+                                                           const graph::Node& node,
+                                                           tensor::Allocator* default_alloc) {
+  if (host->options().tensors_on_gpu) {
+    StatusOr<RdmaArena*> gpu = host->gpu_arena();
+    CHECK(gpu.ok()) << gpu.status();
+    return (*gpu)->allocator.get();
+  }
+  if (!options_.graph_analysis) return default_alloc;
+  DeviceAnalysis& a = analysis(host);
+  if (a.static_producers.count(node.name()) > 0 || a.tracer.InHotSet(node.id())) {
+    StatusOr<RdmaArena*> arena = host->rdma_arena();
+    CHECK(arena.ok()) << arena.status();
+    return (*arena)->allocator.get();
+  }
+  return default_alloc;
+}
+
+void ZeroCopyRdmaMechanism::OnNodeBegin(HostRuntime* host, const graph::Node& node) {
+  DeviceAnalysis& a = analysis(host);
+  if (tracing_step_) a.tracer.set_tracing(true);
+  a.tracer.BeginNodeExecution(node.id());
+}
+
+void ZeroCopyRdmaMechanism::OnAllocation(HostRuntime* host, const graph::Node& node,
+                                         const void* ptr, size_t bytes) {
+  analysis(host).tracer.RecordAllocation(node.id(), ptr, bytes);
+}
+
+int64_t ZeroCopyRdmaMechanism::Send(const graph::TransferEdge& edge, const Tensor& tensor,
+                                    std::function<void(Status)> on_sent) {
+  auto it = edges_.find(edge.key);
+  CHECK(it != edges_.end()) << "unknown edge " << edge.key;
+  EdgeState* s = it->second.get();
+  HostRuntime* src = s->src;
+  sim::Simulator* simulator = src->simulator();
+  const uint64_t bytes = tensor.TotalBytes();
+  const void* ptr = tensor.raw_data();
+  s->hold = tensor;
+
+  // §3.4 dynamic analysis: learn the allocation site of every transferred
+  // buffer so later iterations allocate it RDMA-accessible directly.
+  if (options_.graph_analysis) {
+    analysis(src).tracer.RecordTransfer(ptr);
+  }
+
+  // Classify the source buffer.
+  StatusOr<const RdmaArena*> registered = src->ArenaFor(ptr);
+  const bool in_gpu = [&] {
+    StatusOr<RdmaArena*> gpu = src->gpu_arena();
+    return src->options().tensors_on_gpu && gpu.ok() && (*gpu)->Contains(ptr);
+  }();
+
+  if (registered.ok()) {
+    // Zero-copy path: the buffer is already RDMA-accessible (host arena, or
+    // GPU arena under GPUDirect).
+    ++stats_.zero_copy_sends;
+    const void* send_ptr = ptr;
+    const uint32_t lkey = (*registered)->lkey;
+    simulator->ScheduleAfter(0, [this, s, send_ptr, lkey, bytes, tensor,
+                                 on_sent = std::move(on_sent)]() mutable {
+      if (s->protocol == Protocol::kStatic) {
+        PostWrites(s, send_ptr, lkey, bytes, std::move(on_sent));
+      } else {
+        PostMetadataWrite(s, send_ptr, lkey, bytes, tensor, std::move(on_sent));
+      }
+    });
+    return 0;
+  }
+
+  // Staging path: allocate an RDMA-accessible buffer and copy into it.
+  StatusOr<RdmaArena*> arena_or = src->rdma_arena();
+  if (!arena_or.ok()) {
+    simulator->ScheduleAfter(0, [on_sent = std::move(on_sent), st = arena_or.status()]() {
+      on_sent(st);
+    });
+    return 0;
+  }
+  RdmaArena* arena = *arena_or;
+  void* staging = arena->allocator->Allocate(bytes);
+  if (staging == nullptr) {
+    simulator->ScheduleAfter(0, [on_sent = std::move(on_sent)]() {
+      on_sent(ResourceExhausted("sender RDMA arena exhausted"));
+    });
+    return 0;
+  }
+  const uint32_t lkey = arena->lkey;
+
+  auto post = [this, s, staging, lkey, bytes, tensor,
+               on_sent = std::move(on_sent)]() mutable {
+    if (s->protocol == Protocol::kStatic) {
+      // Static staging can be freed as soon as the write completes.
+      PostWrites(s, staging, lkey, bytes,
+                 [this, s, staging, on_sent = std::move(on_sent)](Status status) {
+                   StatusOr<RdmaArena*> arena = s->src->rdma_arena();
+                   if (arena.ok()) (*arena)->allocator->Deallocate(staging);
+                   on_sent(status);
+                 });
+    } else {
+      // Dynamic staging must survive until the receiver's RDMA read, i.e.
+      // until the step boundary.
+      s->staging_to_free_at_step.push_back(staging);
+      PostMetadataWrite(s, staging, lkey, bytes, tensor, std::move(on_sent));
+    }
+  };
+
+  if (in_gpu) {
+    // GPU tensor without GPUDirect: DMA it into host staging over PCIe. The
+    // CPU is not held; the transfer occupies the PCIe link.
+    ++stats_.pcie_copies;
+    stats_.pcie_bytes += bytes;
+    const net::CostModel& cost = src->cost();
+    const int64_t pcie_ns =
+        cost.pcie_latency_ns +
+        static_cast<int64_t>(bytes / cost.pcie_bandwidth_bytes_per_sec * 1e9);
+    net::Host* machine =
+        src->rdma_device()->nic()->fabric()->host(src->endpoint().host_id);
+    const int64_t pcie_end = machine->pcie().Reserve(simulator->Now(), pcie_ns);
+    simulator->ScheduleAt(pcie_end, std::move(post));
+    return 0;  // DMA copy; the executor worker is not held.
+  }
+
+  // Plain host-memory staging copy, on the RdmaSend op's own thread (this is
+  // the copy the zero-copy analysis removes; with analysis off this is the
+  // RDMA.cp baseline of Figure 8/12).
+  ++stats_.staged_sends;
+  stats_.staged_bytes += bytes;
+  if (src->real_memory()) {
+    std::memcpy(staging, ptr, bytes);
+  }
+  const net::CostModel& cost = src->cost();
+  const int64_t copy_ns =
+      cost.arena_alloc_overhead_ns +
+      static_cast<int64_t>(bytes / cost.staging_memcpy_bytes_per_sec * 1e9);
+  simulator->ScheduleAfter(copy_ns, std::move(post));
+  return copy_ns;
+}
+
+void ZeroCopyRdmaMechanism::PostWrites(EdgeState* s, const void* src_ptr, uint32_t lkey,
+                                       uint64_t bytes, std::function<void(Status)> on_sent) {
+  // Two writes on one QP: payload then flag. RC QPs execute WRs in FIFO
+  // order and deliver each write's bytes in ascending address order, so the
+  // flag byte is the last byte to land — the §3.2 guarantee.
+  const bool copy_payload = s->src->real_memory();
+  auto on_sent_shared = std::make_shared<std::function<void(Status)>>(std::move(on_sent));
+  s->channel->Memcpy(const_cast<void*>(src_ptr), lkey, s->remote_data.addr,
+                     s->remote_data.rkey, bytes, Direction::kLocalToRemote,
+                     [on_sent_shared](const Status& status) {
+                       if (!status.ok() && *on_sent_shared) {
+                         auto cb = std::move(*on_sent_shared);
+                         *on_sent_shared = nullptr;
+                         cb(status);
+                       }
+                     },
+                     copy_payload);
+  StatusOr<RdmaArena*> src_meta = s->src->meta_arena();
+  CHECK(src_meta.ok());
+  uint8_t* flag_src = FlagSource(s->src);
+  s->channel->Memcpy(flag_src, (*src_meta)->lkey, s->remote_flag.addr, s->remote_flag.rkey, 1,
+                     Direction::kLocalToRemote,
+                     [on_sent_shared](const Status& status) {
+                       if (*on_sent_shared) {
+                         auto cb = std::move(*on_sent_shared);
+                         *on_sent_shared = nullptr;
+                         cb(status);
+                       }
+                     },
+                     /*copy_bytes=*/true);
+}
+
+void ZeroCopyRdmaMechanism::PostMetadataWrite(EdgeState* s, const void* data_ptr, uint32_t lkey,
+                                              uint64_t bytes, const Tensor& tensor,
+                                              std::function<void(Status)> on_sent) {
+  // Serialize the (small, fixed-size) metadata: dims, dtype, and where the
+  // receiver should read the payload from.
+  uint8_t* m = s->src_meta_staging;
+  const tensor::TensorShape& shape = tensor.shape();
+  PutU32(m, static_cast<uint32_t>(tensor.dtype()));
+  PutU32(m + 4, static_cast<uint32_t>(shape.num_dims()));
+  for (int i = 0; i < shape.num_dims(); ++i) {
+    PutU64(m + 8 + 8 * i, static_cast<uint64_t>(shape.dim(i)));
+  }
+  uint8_t* tail = m + 8 + 8 * shape.num_dims();
+  PutU64(tail, reinterpret_cast<uint64_t>(data_ptr));
+  StatusOr<const RdmaArena*> arena = s->src->ArenaFor(data_ptr);
+  CHECK(arena.ok()) << arena.status();
+  PutU32(tail + 8, (*arena)->rkey);
+  PutU64(tail + 12, bytes);
+  m[s->meta_bytes - 1] = 1;  // Tail flag, last byte of the single write.
+
+  s->channel->Memcpy(m, s->src_meta_lkey, s->remote_meta.addr, s->remote_meta.rkey,
+                     s->meta_bytes, Direction::kLocalToRemote,
+                     [on_sent = std::move(on_sent)](const Status& status) {
+                       on_sent(status);
+                     },
+                     /*copy_bytes=*/true);
+}
+
+bool ZeroCopyRdmaMechanism::TryRecv(const graph::TransferEdge& edge, Tensor* out) {
+  auto it = edges_.find(edge.key);
+  CHECK(it != edges_.end()) << "unknown edge " << edge.key;
+  EdgeState* s = it->second.get();
+  switch (s->phase) {
+    case RecvPhase::kWaiting: {
+      if (*s->flag_ptr == 0) return false;
+      *s->flag_ptr = 0;  // Clear for future use (§3.2).
+      if (s->protocol == Protocol::kStatic) {
+        if (!s->dst_gpu_staging) {
+          ++stats_.static_transfers;
+          *out = s->recv_tensor;
+          return true;
+        }
+        // Stage the received tensor into GPU memory over PCIe.
+        s->phase = RecvPhase::kStaging;
+        ++stats_.pcie_copies;
+        stats_.pcie_bytes += s->recv_tensor.TotalBytes();
+        const net::CostModel& cost = s->dst->cost();
+        const int64_t pcie_ns =
+            cost.pcie_latency_ns +
+            static_cast<int64_t>(s->recv_tensor.TotalBytes() /
+                                 cost.pcie_bandwidth_bytes_per_sec * 1e9);
+        net::Host* machine =
+            s->dst->rdma_device()->nic()->fabric()->host(s->dst->endpoint().host_id);
+        const int64_t end =
+            machine->pcie().Reserve(s->dst->simulator()->Now(), pcie_ns);
+        s->dst->simulator()->ScheduleAt(end, [s]() { s->phase = RecvPhase::kReady; });
+        return false;
+      }
+      StartDynamicRead(s);
+      return false;
+    }
+    case RecvPhase::kTransferring:
+    case RecvPhase::kStaging:
+      return false;
+    case RecvPhase::kReady: {
+      s->phase = RecvPhase::kWaiting;
+      if (s->protocol == Protocol::kStatic) {
+        ++stats_.static_transfers;
+        *out = s->recv_tensor;
+      } else {
+        ++stats_.dynamic_transfers;
+        *out = std::move(s->recv_tensor);
+        s->recv_tensor = Tensor();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void ZeroCopyRdmaMechanism::StartDynamicRead(EdgeState* s) {
+  // Parse the metadata the sender just wrote (always real bytes).
+  const uint8_t* m = s->meta_block;
+  const auto dtype = static_cast<tensor::DType>(GetU32(m));
+  const int rank = static_cast<int>(GetU32(m + 4));
+  CHECK_EQ(rank, s->edge.shape.num_dims())
+      << "tensor rank changed across mini-batches on edge " << s->edge.key;
+  std::vector<int64_t> dims(rank);
+  for (int i = 0; i < rank; ++i) dims[i] = static_cast<int64_t>(GetU64(m + 8 + 8 * i));
+  const uint8_t* tail = m + 8 + 8 * rank;
+  const uint64_t src_addr = GetU64(tail);
+  const uint32_t src_rkey = GetU32(tail + 8);
+  const uint64_t payload_bytes = GetU64(tail + 12);
+
+  // Allocate the tensor storage in an RDMA-accessible region (§3.3), then
+  // pull the payload with a one-sided read.
+  const bool into_gpu = s->dst->options().tensors_on_gpu && s->dst->options().gpudirect;
+  StatusOr<RdmaArena*> arena_or = into_gpu ? s->dst->gpu_arena() : s->dst->rdma_arena();
+  CHECK(arena_or.ok()) << arena_or.status();
+  RdmaArena* arena = *arena_or;
+  tensor::TensorShape shape{std::move(dims)};
+  Tensor t(arena->allocator.get(), dtype, shape);
+  CHECK_EQ(t.TotalBytes(), payload_bytes) << "metadata/payload size mismatch";
+  s->recv_tensor = t;
+  s->phase = RecvPhase::kTransferring;
+  s->read_channel->Memcpy(t.raw_data(), arena->lkey, src_addr, src_rkey, payload_bytes,
+                          Direction::kRemoteToLocal,
+                          [s](const Status& status) {
+                            CHECK(status.ok())
+                                << "dynamic RDMA read failed: " << status;
+                            s->phase = RecvPhase::kReady;
+                          },
+                          /*copy_bytes=*/s->dst->real_memory());
+}
+
+uint8_t* ZeroCopyRdmaMechanism::FlagSource(HostRuntime* host) {
+  auto it = flag_sources_.find(host);
+  if (it == flag_sources_.end()) {
+    StatusOr<RdmaArena*> meta = host->meta_arena();
+    CHECK(meta.ok()) << meta.status();
+    auto* flag = static_cast<uint8_t*>((*meta)->allocator->Allocate(1));
+    CHECK(flag != nullptr);
+    *flag = 1;
+    it = flag_sources_.emplace(host, flag).first;
+  }
+  return it->second;
+}
+
+}  // namespace comm
+}  // namespace rdmadl

@@ -1,0 +1,139 @@
+// The paper's zero-copy RDMA tensor-transfer mechanism (§3).
+//
+// Per cross-device edge, one of two protocols:
+//
+//   Static placement (§3.2) — when the analyzer proved the tensor shape
+//   static: the receiver preallocates the tensor in its RDMA arena once and
+//   distributes its address over the device library's vanilla RPC. Every
+//   step, the sender one-sided-writes the payload and then a one-byte
+//   completion flag on the same QP (FIFO ordering + the NIC's ascending-
+//   address delivery guarantee make the flag the last byte to land). The
+//   receiver's RdmaRecv op polls the flag under the executor's polling-async
+//   scheduling, clears it, and reactivates the dependents. In real-memory
+//   mode the flag lives at the tail of the receive buffer exactly as in the
+//   paper; in virtual-memory benchmark mode it lives in the (always-real)
+//   metadata arena so polling still reads actual bytes.
+//
+//   Dynamic allocation (§3.3) — when the shape varies per mini-batch: the
+//   tensor rank is still fixed, so a fixed-size metadata block (dims, dtype,
+//   source address/rkey, tail flag) is preallocated at the receiver and its
+//   address distributed. The sender writes the metadata; the receiver polls
+//   its flag, allocates the tensor storage from its RDMA arena, and pulls the
+//   payload with a one-sided RDMA read.
+//
+// Graph-analyzer integration (§3.4):
+//   * producers that feed _Send nodes are allocated from the RDMA arena from
+//     step 0 (static analysis);
+//   * during step 0 a TracingAllocator maps buffer address -> allocating
+//     node; each transferred buffer promotes its true allocation site into
+//     set S (catching Identity/Reshape/ApplySgd pass-throughs), and from
+//     step 1 those sites allocate from the arena too;
+//   * with graph analysis off (options.graph_analysis = false) every send
+//     pays a staging copy into the arena — the paper's RDMA.cp baseline.
+//
+// GPUDirect (§3.5): when the sending process keeps tensors in GPU memory,
+// non-GDR sends stage through host memory over PCIe (and receives stage
+// back); with GDR the GPU arena is NIC-registered and every GPU-side edge
+// uses the dynamic protocol with metadata polled in host memory, as the
+// paper prescribes.
+#ifndef RDMADL_SRC_COMM_ZEROCOPY_MECHANISM_H_
+#define RDMADL_SRC_COMM_ZEROCOPY_MECHANISM_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <set>
+#include <vector>
+
+#include "src/analyzer/allocation_tracer.h"
+#include "src/runtime/session.h"
+#include "src/runtime/transfer.h"
+
+namespace rdmadl {
+namespace comm {
+
+struct ZeroCopyOptions {
+  // §3.4 analysis on; turning it off yields the RDMA.cp baseline (sender-side
+  // staging copy on every transfer).
+  bool graph_analysis = true;
+  // Force the §3.3 dynamic protocol even for statically known shapes
+  // (ablation: measures the metadata + read overhead).
+  bool force_dynamic = false;
+};
+
+struct ZeroCopyStats {
+  int64_t static_transfers = 0;
+  int64_t dynamic_transfers = 0;
+  int64_t zero_copy_sends = 0;
+  int64_t staged_sends = 0;
+  uint64_t staged_bytes = 0;
+  int64_t pcie_copies = 0;
+  uint64_t pcie_bytes = 0;
+};
+
+class ZeroCopyRdmaMechanism : public runtime::TransferMechanism {
+ public:
+  ZeroCopyRdmaMechanism(runtime::Cluster* cluster, ZeroCopyOptions options);
+  ~ZeroCopyRdmaMechanism() override;
+
+  std::string name() const override {
+    return options_.graph_analysis ? "RDMA.zerocp" : "RDMA.cp";
+  }
+  RecvMode recv_mode() const override { return RecvMode::kPolling; }
+
+  void Setup(const std::vector<graph::TransferEdge>& edges,
+             std::function<void(Status)> done) override;
+  void BeginStep(int64_t step) override;
+
+  int64_t Send(const graph::TransferEdge& edge, const tensor::Tensor& tensor,
+               std::function<void(Status)> on_sent) override;
+  bool TryRecv(const graph::TransferEdge& edge, tensor::Tensor* out) override;
+
+  tensor::Allocator* AllocatorForNode(runtime::HostRuntime* host, const graph::Node& node,
+                                      tensor::Allocator* default_allocator) override;
+  void OnNodeBegin(runtime::HostRuntime* host, const graph::Node& node) override;
+  void OnAllocation(runtime::HostRuntime* host, const graph::Node& node, const void* ptr,
+                    size_t bytes) override;
+
+  const ZeroCopyStats& stats() const { return stats_; }
+
+ private:
+  enum class Protocol { kStatic, kDynamic };
+  enum class RecvPhase { kWaiting, kTransferring, kStaging, kReady };
+
+  struct EdgeState;
+
+  Status SetupEdge(EdgeState* state);
+  // Static protocol: payload write followed by the flag-byte write, on the
+  // same QP. |src_ptr| must lie inside a registered arena covered by |lkey|.
+  void PostWrites(EdgeState* state, const void* src_ptr, uint32_t lkey, uint64_t bytes,
+                  std::function<void(Status)> on_sent);
+  // Dynamic protocol: single metadata write (tail flag included).
+  void PostMetadataWrite(EdgeState* state, const void* data_ptr, uint32_t lkey,
+                         uint64_t bytes, const tensor::Tensor& tensor,
+                         std::function<void(Status)> on_sent);
+  void StartDynamicRead(EdgeState* state);
+  // The 1-byte "flag = 1" source buffer in |host|'s meta arena.
+  uint8_t* FlagSource(runtime::HostRuntime* host);
+
+  // Host-side per-device analyzer state.
+  struct DeviceAnalysis {
+    analyzer::AllocationSiteTracer tracer;
+    std::set<std::string> static_producers;
+  };
+  DeviceAnalysis& analysis(runtime::HostRuntime* host) { return analysis_[host]; }
+
+  runtime::Cluster* cluster_;
+  ZeroCopyOptions options_;
+  ZeroCopyStats stats_;
+  std::unordered_map<std::string, std::unique_ptr<EdgeState>> edges_;
+  std::map<runtime::HostRuntime*, DeviceAnalysis> analysis_;
+  std::map<runtime::HostRuntime*, uint8_t*> flag_sources_;
+  int64_t step_ = -1;
+  bool tracing_step_ = false;
+};
+
+}  // namespace comm
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_COMM_ZEROCOPY_MECHANISM_H_

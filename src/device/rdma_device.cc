@@ -1,0 +1,421 @@
+#include "src/device/rdma_device.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace device {
+
+namespace {
+
+// RPC wire frame:
+//   [u8 type] [u64 call_id] [u16 method_len] [u32 payload_len] [method] [payload]
+constexpr uint8_t kRpcRequest = 0;
+constexpr uint8_t kRpcResponse = 1;
+constexpr uint8_t kRpcError = 2;
+constexpr size_t kRpcHeaderBytes = 1 + 8 + 2 + 4;
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- RemoteRegion
+
+void RemoteRegion::EncodeTo(std::vector<uint8_t>* out) const {
+  PutU64(out, addr);
+  PutU32(out, rkey);
+  PutU64(out, length);
+}
+
+StatusOr<RemoteRegion> RemoteRegion::Decode(const uint8_t* data, size_t len) {
+  if (len < kWireSize) {
+    return InvalidArgument("RemoteRegion: short buffer");
+  }
+  RemoteRegion r;
+  r.addr = GetU64(data);
+  r.rkey = GetU32(data + 8);
+  r.length = GetU64(data + 12);
+  return r;
+}
+
+// ------------------------------------------------------------------- MemRegion
+
+MemRegion::Impl::~Impl() {
+  if (device != nullptr && mr.lkey != 0) {
+    Status s = device->nic()->DeregisterMemory(mr);
+    if (!s.ok()) {
+      LOG(WARNING) << "DeregisterMemory failed: " << s;
+    }
+  }
+}
+
+RemoteRegion MemRegion::Remote() const {
+  RemoteRegion r;
+  if (impl_) {
+    r.addr = reinterpret_cast<uint64_t>(impl_->data);
+    r.rkey = impl_->mr.rkey;
+    r.length = impl_->size;
+  }
+  return r;
+}
+
+StatusOr<RemoteRegion> MemRegion::RemoteSlice(uint64_t offset, uint64_t length) const {
+  if (!impl_ || offset + length > impl_->size) {
+    return OutOfRange("RemoteSlice out of region bounds");
+  }
+  RemoteRegion r;
+  r.addr = reinterpret_cast<uint64_t>(impl_->data) + offset;
+  r.rkey = impl_->mr.rkey;
+  r.length = length;
+  return r;
+}
+
+// ------------------------------------------------------------- DeviceDirectory
+
+RdmaDevice* DeviceDirectory::Find(const Endpoint& ep) const {
+  auto it = devices_.find(ep);
+  return it == devices_.end() ? nullptr : it->second;
+}
+
+// ----------------------------------------------------------------- RdmaChannel
+
+void RdmaChannel::Memcpy(uint64_t local_addr, const MemRegion& local_region,
+                         uint64_t remote_addr, const RemoteRegion& remote, uint64_t size,
+                         Direction direction, MemcpyCallback callback) {
+  Memcpy(reinterpret_cast<void*>(local_addr), local_region.lkey(), remote_addr, remote.rkey,
+         size, direction, std::move(callback));
+}
+
+void RdmaChannel::Memcpy(void* local_addr, uint32_t lkey, uint64_t remote_addr, uint32_t rkey,
+                         uint64_t size, Direction direction, MemcpyCallback callback,
+                         bool copy_bytes) {
+  rdma::SendWorkRequest wr;
+  wr.copy_bytes = copy_bytes;
+  wr.wr_id = device_->next_wr_id_++;
+  wr.opcode = (direction == Direction::kLocalToRemote) ? rdma::Opcode::kWrite
+                                                       : rdma::Opcode::kRead;
+  wr.local_addr = reinterpret_cast<uint64_t>(local_addr);
+  wr.lkey = lkey;
+  wr.length = size;
+  wr.remote_addr = remote_addr;
+  wr.rkey = rkey;
+  device_->pending_sends_[wr.wr_id] = std::move(callback);
+  Status s = qp_->PostSend(wr);
+  if (!s.ok()) {
+    auto it = device_->pending_sends_.find(wr.wr_id);
+    MemcpyCallback cb = std::move(it->second);
+    device_->pending_sends_.erase(it);
+    // Deliver the failure asynchronously for a uniform contract.
+    device_->simulator()->ScheduleAfter(0, [cb = std::move(cb), s]() { cb(s); });
+  }
+}
+
+// ------------------------------------------------------------------ RdmaDevice
+
+RdmaDevice::RdmaDevice(DeviceDirectory* directory, int num_qps_per_peer, const Endpoint& local)
+    : directory_(directory),
+      local_(local),
+      nic_(directory->rdma_fabric()->nic(local.host_id)),
+      num_qps_per_peer_(num_qps_per_peer) {}
+
+RdmaDevice::~RdmaDevice() { directory_->devices_.erase(local_); }
+
+StatusOr<std::unique_ptr<RdmaDevice>> RdmaDevice::Create(DeviceDirectory* directory,
+                                                         int num_cqs, int num_qps_per_peer,
+                                                         const Endpoint& local) {
+  if (num_cqs <= 0 || num_qps_per_peer <= 0) {
+    return InvalidArgument("num_cqs and num_qps_per_peer must be positive");
+  }
+  if (local.host_id < 0 ||
+      local.host_id >= directory->rdma_fabric()->fabric()->num_hosts()) {
+    return InvalidArgument(StrCat("endpoint host out of range: ", local.ToString()));
+  }
+  if (directory->Find(local) != nullptr) {
+    return AlreadyExists(StrCat("endpoint already bound: ", local.ToString()));
+  }
+  auto dev = std::unique_ptr<RdmaDevice>(new RdmaDevice(directory, num_qps_per_peer, local));
+  for (int i = 0; i < num_cqs; ++i) {
+    rdma::CompletionQueue* cq = dev->nic_->CreateCompletionQueue();
+    RdmaDevice* raw = dev.get();
+    cq->SetCompletionHandler([raw, cq]() { raw->DrainCq(cq); });
+    dev->cqs_.push_back(cq);
+  }
+  directory->devices_[local] = dev.get();
+  return dev;
+}
+
+StatusOr<MemRegion> RdmaDevice::AllocateMemRegion(uint64_t size) {
+  if (size == 0) {
+    return InvalidArgument("AllocateMemRegion: size must be > 0");
+  }
+  auto impl = std::make_shared<MemRegion::Impl>();
+  impl->storage = std::make_unique<uint8_t[]>(size);
+  impl->data = impl->storage.get();
+  impl->size = size;
+  RDMADL_ASSIGN_OR_RETURN(impl->mr, nic_->RegisterMemory(impl->data, size));
+  impl->device = this;
+  return MemRegion(std::move(impl));
+}
+
+rdma::CompletionQueue* RdmaDevice::NextCq() {
+  rdma::CompletionQueue* cq = cqs_[next_cq_];
+  next_cq_ = (next_cq_ + 1) % static_cast<int>(cqs_.size());
+  return cq;
+}
+
+Status RdmaDevice::Connect(RdmaDevice* remote) {
+  PeerConnection& mine = peers_[remote->local_];
+  PeerConnection& theirs = remote->peers_[local_];
+  CHECK(mine.qps.empty() && theirs.qps.empty());
+  if (num_qps_per_peer_ != remote->num_qps_per_peer_) {
+    return InvalidArgument("peer devices configured with different QP counts");
+  }
+  for (int i = 0; i < num_qps_per_peer_; ++i) {
+    rdma::CompletionQueue* my_cq = NextCq();
+    rdma::CompletionQueue* their_cq = remote->NextCq();
+    rdma::QueuePair* a = nic_->CreateQueuePair(my_cq, my_cq);
+    rdma::QueuePair* b = remote->nic_->CreateQueuePair(their_cq, their_cq);
+    RDMADL_RETURN_IF_ERROR(a->Connect(b));
+    mine.qps.push_back(a);
+    theirs.qps.push_back(b);
+    mine.channels.push_back(
+        std::unique_ptr<RdmaChannel>(new RdmaChannel(this, remote->local_, i, a)));
+    theirs.channels.push_back(
+        std::unique_ptr<RdmaChannel>(new RdmaChannel(remote, local_, i, b)));
+  }
+  // Dedicated two-sided QP for the address-distribution RPC.
+  {
+    rdma::CompletionQueue* my_cq = NextCq();
+    rdma::CompletionQueue* their_cq = remote->NextCq();
+    rdma::QueuePair* a = nic_->CreateQueuePair(my_cq, my_cq);
+    rdma::QueuePair* b = remote->nic_->CreateQueuePair(their_cq, their_cq);
+    RDMADL_RETURN_IF_ERROR(a->Connect(b));
+    mine.rpc_qp = a;
+    theirs.rpc_qp = b;
+    rpc_qps_[a->qp_num()] = a;
+    remote->rpc_qps_[b->qp_num()] = b;
+    for (int i = 0; i < kRpcRecvDepth; ++i) {
+      PostRpcRecv(a, AcquireRpcSlot());
+      remote->PostRpcRecv(b, remote->AcquireRpcSlot());
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<RdmaChannel*> RdmaDevice::GetChannel(const Endpoint& remote, int qp_idx) {
+  if (qp_idx < 0 || qp_idx >= num_qps_per_peer_) {
+    return InvalidArgument(StrCat("qp_idx out of range: ", qp_idx));
+  }
+  auto it = peers_.find(remote);
+  if (it == peers_.end()) {
+    RdmaDevice* peer = directory_->Find(remote);
+    if (peer == nullptr) {
+      return NotFound(StrCat("no device bound at ", remote.ToString()));
+    }
+    if (peer == this) {
+      return InvalidArgument("cannot open a channel to self");
+    }
+    RDMADL_RETURN_IF_ERROR(Connect(peer));
+    it = peers_.find(remote);
+  }
+  return it->second.channels[qp_idx].get();
+}
+
+void RdmaDevice::DrainCq(rdma::CompletionQueue* cq) {
+  rdma::WorkCompletion wc;
+  while (cq->Poll(&wc)) {
+    if (wc.opcode == rdma::Opcode::kRecv) {
+      // Inbound RPC message.
+      auto slot_it = rpc_recv_slots_.find(wc.wr_id);
+      CHECK(slot_it != rpc_recv_slots_.end());
+      RpcSlot slot = slot_it->second;
+      rpc_recv_slots_.erase(slot_it);
+      auto qp_it = rpc_qps_.find(wc.qp_num);
+      CHECK(qp_it != rpc_qps_.end());
+      rdma::QueuePair* qp = qp_it->second;
+      if (wc.status.ok()) {
+        HandleRpcInbound(qp, slot.data, wc.byte_len);
+      } else {
+        LOG(ERROR) << "RPC recv completion error: " << wc.status;
+      }
+      PostRpcRecv(qp, slot);  // Keep the receive queue replenished.
+      continue;
+    }
+    // Send-side completion: Memcpy callback or RPC send slot recycle.
+    auto pending_it = pending_sends_.find(wc.wr_id);
+    if (pending_it != pending_sends_.end()) {
+      MemcpyCallback cb = std::move(pending_it->second);
+      pending_sends_.erase(pending_it);
+      cb(wc.status);
+      continue;
+    }
+    auto slot_it = rpc_send_slots_.find(wc.wr_id);
+    if (slot_it != rpc_send_slots_.end()) {
+      ReleaseRpcSlot(slot_it->second);
+      rpc_send_slots_.erase(slot_it);
+      if (!wc.status.ok()) {
+        LOG(ERROR) << "RPC send completion error: " << wc.status;
+      }
+      continue;
+    }
+    LOG(WARNING) << "orphan completion wr_id=" << wc.wr_id;
+  }
+}
+
+// --------------------------------------------------------------------- MiniRPC
+
+RdmaDevice::RpcSlot RdmaDevice::AcquireRpcSlot() {
+  if (rpc_free_slots_.empty()) {
+    auto slab = std::make_unique<uint8_t[]>(kRpcSlotBytes * kRpcSlotsPerSlab);
+    StatusOr<rdma::MemoryRegion> mr =
+        nic_->RegisterMemory(slab.get(), kRpcSlotBytes * kRpcSlotsPerSlab);
+    CHECK(mr.ok()) << mr.status();
+    for (int i = 0; i < kRpcSlotsPerSlab; ++i) {
+      rpc_free_slots_.push_back(RpcSlot{slab.get() + i * kRpcSlotBytes, mr->lkey});
+    }
+    rpc_slabs_.push_back(std::move(slab));
+  }
+  RpcSlot slot = rpc_free_slots_.back();
+  rpc_free_slots_.pop_back();
+  return slot;
+}
+
+void RdmaDevice::ReleaseRpcSlot(RpcSlot slot) { rpc_free_slots_.push_back(slot); }
+
+void RdmaDevice::PostRpcRecv(rdma::QueuePair* qp, RpcSlot slot) {
+  rdma::RecvWorkRequest wr;
+  wr.wr_id = next_wr_id_++;
+  wr.addr = reinterpret_cast<uint64_t>(slot.data);
+  wr.lkey = slot.lkey;
+  wr.length = kRpcSlotBytes;
+  rpc_recv_slots_[wr.wr_id] = slot;
+  Status s = qp->PostRecv(wr);
+  CHECK(s.ok()) << s;
+}
+
+void RdmaDevice::SendRpcFrame(rdma::QueuePair* qp, const std::vector<uint8_t>& frame) {
+  CHECK_LE(frame.size(), kRpcSlotBytes)
+      << "MiniRPC frame exceeds slot size; address-distribution messages are small by design";
+  RpcSlot slot = AcquireRpcSlot();
+  std::memcpy(slot.data, frame.data(), frame.size());
+  rdma::SendWorkRequest wr;
+  wr.wr_id = next_wr_id_++;
+  wr.opcode = rdma::Opcode::kSend;
+  wr.local_addr = reinterpret_cast<uint64_t>(slot.data);
+  wr.lkey = slot.lkey;
+  wr.length = frame.size();
+  rpc_send_slots_[wr.wr_id] = slot;
+  Status s = qp->PostSend(wr);
+  CHECK(s.ok()) << s;
+}
+
+void RdmaDevice::RegisterRpcHandler(const std::string& method, RpcHandler handler) {
+  rpc_handlers_[method] = std::move(handler);
+}
+
+void RdmaDevice::Call(const Endpoint& remote, const std::string& method,
+                      std::vector<uint8_t> payload, RpcCallback callback) {
+  // Ensure the connection (and its RPC QP) exists.
+  StatusOr<RdmaChannel*> chan = GetChannel(remote, 0);
+  if (!chan.ok()) {
+    simulator()->ScheduleAfter(0, [callback = std::move(callback), s = chan.status()]() {
+      callback(s, {});
+    });
+    return;
+  }
+  const uint64_t call_id = next_call_id_++;
+  pending_calls_[call_id] = PendingCall{std::move(callback)};
+
+  std::vector<uint8_t> frame;
+  frame.reserve(kRpcHeaderBytes + method.size() + payload.size());
+  frame.push_back(kRpcRequest);
+  PutU64(&frame, call_id);
+  PutU16(&frame, static_cast<uint16_t>(method.size()));
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.insert(frame.end(), method.begin(), method.end());
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  rdma::QueuePair* qp = peers_[remote].rpc_qp;
+  // Caller-side dispatch cost, then post.
+  simulator()->ScheduleAfter(cost().mini_rpc_dispatch_ns,
+                             [this, qp, frame = std::move(frame)]() { SendRpcFrame(qp, frame); });
+}
+
+void RdmaDevice::HandleRpcInbound(rdma::QueuePair* qp, const uint8_t* data, uint64_t len) {
+  CHECK_GE(len, kRpcHeaderBytes);
+  const uint8_t type = data[0];
+  const uint64_t call_id = GetU64(data + 1);
+  const uint16_t method_len = GetU16(data + 9);
+  const uint32_t payload_len = GetU32(data + 11);
+  CHECK_EQ(len, kRpcHeaderBytes + method_len + payload_len);
+  const uint8_t* body = data + kRpcHeaderBytes;
+
+  if (type == kRpcRequest) {
+    std::string method(reinterpret_cast<const char*>(body), method_len);
+    std::vector<uint8_t> payload(body + method_len, body + method_len + payload_len);
+    // Handler dispatch cost on the callee side.
+    simulator()->ScheduleAfter(
+        cost().mini_rpc_dispatch_ns, [this, qp, method, payload = std::move(payload), call_id]() {
+          std::vector<uint8_t> frame;
+          auto it = rpc_handlers_.find(method);
+          if (it == rpc_handlers_.end()) {
+            frame.push_back(kRpcError);
+            PutU64(&frame, call_id);
+            PutU16(&frame, 0);
+            PutU32(&frame, 0);
+          } else {
+            std::vector<uint8_t> response = it->second(payload);
+            frame.push_back(kRpcResponse);
+            PutU64(&frame, call_id);
+            PutU16(&frame, 0);
+            PutU32(&frame, static_cast<uint32_t>(response.size()));
+            frame.insert(frame.end(), response.begin(), response.end());
+          }
+          SendRpcFrame(qp, frame);
+        });
+    return;
+  }
+
+  // Response or error: complete the pending call.
+  auto it = pending_calls_.find(call_id);
+  if (it == pending_calls_.end()) {
+    LOG(WARNING) << "RPC response for unknown call " << call_id;
+    return;
+  }
+  RpcCallback cb = std::move(it->second.callback);
+  pending_calls_.erase(it);
+  if (type == kRpcError) {
+    cb(NotFound("no such RPC method"), {});
+  } else {
+    std::vector<uint8_t> payload(body + method_len, body + method_len + payload_len);
+    cb(OkStatus(), payload);
+  }
+}
+
+}  // namespace device
+}  // namespace rdmadl

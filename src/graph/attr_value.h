@@ -1,0 +1,23 @@
+// Typed attribute values attached to graph nodes (op parameters, placement
+// hints, analyzer annotations like flops or rendezvous keys).
+#ifndef RDMADL_SRC_GRAPH_ATTR_VALUE_H_
+#define RDMADL_SRC_GRAPH_ATTR_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/tensor/dtype.h"
+#include "src/tensor/shape.h"
+
+namespace rdmadl {
+namespace graph {
+
+using AttrValue = std::variant<int64_t, double, std::string, bool, tensor::DType,
+                               tensor::TensorShape, std::vector<int64_t>>;
+
+}  // namespace graph
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_GRAPH_ATTR_VALUE_H_

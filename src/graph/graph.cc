@@ -1,0 +1,105 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace graph {
+
+StatusOr<Node*> Graph::AddNodeWithInputs(const std::string& name, const std::string& op,
+                                         std::vector<NodeInput> inputs) {
+  if (name.empty()) {
+    return InvalidArgument("node name must be non-empty");
+  }
+  if (by_name_.count(name) > 0) {
+    return AlreadyExists(StrCat("duplicate node name: ", name));
+  }
+  for (const NodeInput& in : inputs) {
+    if (in.node == nullptr) {
+      return InvalidArgument(StrCat("null input to node ", name));
+    }
+  }
+  auto node = std::unique_ptr<Node>(new Node(num_nodes(), name, op));
+  node->inputs_ = std::move(inputs);
+  for (const NodeInput& in : node->inputs_) {
+    in.node->consumers_.push_back(node.get());
+  }
+  Node* raw = node.get();
+  by_name_[name] = raw;
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
+StatusOr<Node*> Graph::AddNode(const std::string& name, const std::string& op,
+                               std::vector<Node*> inputs) {
+  std::vector<NodeInput> typed;
+  typed.reserve(inputs.size());
+  for (Node* n : inputs) typed.push_back(NodeInput{n, 0});
+  return AddNodeWithInputs(name, op, std::move(typed));
+}
+
+Status Graph::AddControlEdge(Node* from, Node* to) {
+  if (from == nullptr || to == nullptr) {
+    return InvalidArgument("control edge endpoints must be non-null");
+  }
+  if (from == to) {
+    return InvalidArgument("control edge to self");
+  }
+  to->control_inputs_.push_back(from);
+  from->consumers_.push_back(to);
+  return OkStatus();
+}
+
+Node* Graph::FindNode(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+StatusOr<std::vector<Node*>> Graph::TopologicalOrder() const {
+  std::vector<int> in_degree(nodes_.size(), 0);
+  for (const auto& node : nodes_) {
+    in_degree[node->id()] =
+        static_cast<int>(node->inputs().size() + node->control_inputs().size());
+  }
+  std::deque<Node*> ready;
+  for (const auto& node : nodes_) {
+    if (in_degree[node->id()] == 0) ready.push_back(node.get());
+  }
+  std::vector<Node*> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    Node* node = ready.front();
+    ready.pop_front();
+    order.push_back(node);
+    for (Node* consumer : node->consumers()) {
+      if (--in_degree[consumer->id()] == 0) ready.push_back(consumer);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return FailedPrecondition("graph contains a cycle");
+  }
+  return order;
+}
+
+std::string Graph::DebugString() const {
+  std::ostringstream os;
+  os << "Graph{" << num_nodes() << " nodes\n";
+  for (const auto& node : nodes_) {
+    os << "  " << node->name() << " = " << node->op() << "(";
+    for (size_t i = 0; i < node->inputs().size(); ++i) {
+      if (i > 0) os << ", ";
+      os << node->inputs()[i].node->name();
+    }
+    os << ")";
+    if (!node->device().empty()) os << " @" << node->device();
+    os << " " << node->output_shape().ToString() << "\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace graph
+}  // namespace rdmadl

@@ -1,0 +1,135 @@
+// Data-flow graph: nodes are operator instances, edges carry tensors (§2.1).
+//
+// The graph is pure metadata — kernels live in src/ops/ and are instantiated
+// by the executor. Shape/dtype annotations are filled in by the analyzer's
+// static shape-inference pass (§3.4).
+#ifndef RDMADL_SRC_GRAPH_GRAPH_H_
+#define RDMADL_SRC_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/attr_value.h"
+#include "src/tensor/dtype.h"
+#include "src/tensor/shape.h"
+#include "src/util/status.h"
+
+namespace rdmadl {
+namespace graph {
+
+class Graph;
+class Node;
+
+// A data input: output |index| of |node| (all current ops have one output,
+// but the edge model keeps the index for fidelity).
+struct NodeInput {
+  Node* node = nullptr;
+  int index = 0;
+};
+
+class Node {
+ public:
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const std::string& op() const { return op_; }
+
+  const std::vector<NodeInput>& inputs() const { return inputs_; }
+  const std::vector<Node*>& control_inputs() const { return control_inputs_; }
+  // Nodes consuming this node's output (including via control edges).
+  const std::vector<Node*>& consumers() const { return consumers_; }
+
+  // Placement: a device string like "worker:0" or "ps:1". Empty = unassigned.
+  const std::string& device() const { return device_; }
+  void set_device(std::string device) { device_ = std::move(device); }
+
+  // ---- Attributes ----
+  void SetAttr(const std::string& key, AttrValue value) { attrs_[key] = std::move(value); }
+  bool HasAttr(const std::string& key) const { return attrs_.count(key) > 0; }
+  template <typename T>
+  T GetAttr(const std::string& key) const;
+  template <typename T>
+  T GetAttrOr(const std::string& key, T fallback) const;
+  const std::map<std::string, AttrValue>& attrs() const { return attrs_; }
+
+  // ---- Inference annotations (filled by the analyzer) ----
+  tensor::DType output_dtype() const { return output_dtype_; }
+  void set_output_dtype(tensor::DType dtype) { output_dtype_ = dtype; }
+  const tensor::TensorShape& output_shape() const { return output_shape_; }
+  void set_output_shape(tensor::TensorShape shape) { output_shape_ = std::move(shape); }
+  // True when the output shape is fully known before execution starts.
+  bool has_static_shape() const { return output_shape_.IsFullyDefined(); }
+
+ private:
+  friend class Graph;
+  Node(int id, std::string name, std::string op)
+      : id_(id), name_(std::move(name)), op_(std::move(op)) {}
+
+  int id_;
+  std::string name_;
+  std::string op_;
+  std::string device_;
+  std::vector<NodeInput> inputs_;
+  std::vector<Node*> control_inputs_;
+  std::vector<Node*> consumers_;
+  std::map<std::string, AttrValue> attrs_;
+  tensor::DType output_dtype_ = tensor::DType::kFloat32;
+  tensor::TensorShape output_shape_{tensor::kUnknownDim};  // Unknown until inferred.
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  // Adds a node; |name| must be unique within the graph.
+  StatusOr<Node*> AddNode(const std::string& name, const std::string& op,
+                          std::vector<Node*> inputs);
+  // Variant taking explicit (node, output index) inputs.
+  StatusOr<Node*> AddNodeWithInputs(const std::string& name, const std::string& op,
+                                    std::vector<NodeInput> inputs);
+
+  Status AddControlEdge(Node* from, Node* to);
+
+  Node* FindNode(const std::string& name) const;
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  // Nodes in a valid execution order; fails on cycles.
+  StatusOr<std::vector<Node*>> TopologicalOrder() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<std::string, Node*> by_name_;
+};
+
+// ---- Template implementations ----
+
+template <typename T>
+T Node::GetAttr(const std::string& key) const {
+  auto it = attrs_.find(key);
+  CHECK(it != attrs_.end()) << "node " << name_ << " missing attr '" << key << "'";
+  const T* value = std::get_if<T>(&it->second);
+  CHECK(value != nullptr) << "node " << name_ << " attr '" << key << "' has wrong type";
+  return *value;
+}
+
+template <typename T>
+T Node::GetAttrOr(const std::string& key, T fallback) const {
+  auto it = attrs_.find(key);
+  if (it == attrs_.end()) return fallback;
+  const T* value = std::get_if<T>(&it->second);
+  CHECK(value != nullptr) << "node " << name_ << " attr '" << key << "' has wrong type";
+  return *value;
+}
+
+}  // namespace graph
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_GRAPH_GRAPH_H_

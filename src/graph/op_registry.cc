@@ -1,0 +1,65 @@
+#include "src/graph/op_registry.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace graph {
+
+OpRegistry* OpRegistry::Global() {
+  static OpRegistry* registry = new OpRegistry();
+  return registry;
+}
+
+Status OpRegistry::Register(OpDef def) {
+  if (def.name.empty()) {
+    return InvalidArgument("op name must be non-empty");
+  }
+  if (ops_.count(def.name) > 0) {
+    return AlreadyExists(StrCat("op already registered: ", def.name));
+  }
+  ops_[def.name] = std::move(def);
+  return OkStatus();
+}
+
+const OpDef* OpRegistry::Find(const std::string& name) const {
+  auto it = ops_.find(name);
+  return it == ops_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> OpRegistry::ListOps() const {
+  std::vector<std::string> names;
+  names.reserve(ops_.size());
+  for (const auto& [name, def] : ops_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SameAsFirstInputShape(const Node& node,
+                             const std::vector<tensor::TensorShape>& input_shapes,
+                             tensor::TensorShape* output_shape) {
+  if (input_shapes.empty()) {
+    return InvalidArgument(StrCat("op ", node.op(), " expects at least one input"));
+  }
+  *output_shape = input_shapes[0];
+  return OkStatus();
+}
+
+Status ShapeFromAttr(const Node& node, const std::vector<tensor::TensorShape>& input_shapes,
+                     tensor::TensorShape* output_shape) {
+  if (!node.HasAttr("shape")) {
+    return InvalidArgument(StrCat("node ", node.name(), " missing 'shape' attr"));
+  }
+  *output_shape = node.GetAttr<tensor::TensorShape>("shape");
+  return OkStatus();
+}
+
+Status ScalarShape(const Node& node, const std::vector<tensor::TensorShape>& input_shapes,
+                   tensor::TensorShape* output_shape) {
+  *output_shape = tensor::TensorShape{};
+  return OkStatus();
+}
+
+}  // namespace graph
+}  // namespace rdmadl

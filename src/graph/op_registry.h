@@ -1,0 +1,70 @@
+// Registry of operator definitions: arity, statefulness, and the
+// shape-inference function the analyzer uses to propagate static shapes
+// through the graph (§3.4, "Preallocate data buffers").
+#ifndef RDMADL_SRC_GRAPH_OP_REGISTRY_H_
+#define RDMADL_SRC_GRAPH_OP_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/tensor/shape.h"
+#include "src/util/status.h"
+
+namespace rdmadl {
+namespace graph {
+
+// Computes the node's output shape from its input shapes. Input shapes may be
+// partially unknown; the function should propagate what it can (emitting
+// kUnknownDim where it cannot).
+using ShapeFn = std::function<Status(const Node& node,
+                                     const std::vector<tensor::TensorShape>& input_shapes,
+                                     tensor::TensorShape* output_shape)>;
+
+struct OpDef {
+  std::string name;
+  int min_inputs = 0;
+  int max_inputs = 0;  // -1 = variadic.
+  bool is_stateful = false;
+  ShapeFn shape_fn;
+};
+
+class OpRegistry {
+ public:
+  static OpRegistry* Global();
+
+  Status Register(OpDef def);
+  const OpDef* Find(const std::string& name) const;
+  std::vector<std::string> ListOps() const;
+
+ private:
+  std::unordered_map<std::string, OpDef> ops_;
+};
+
+// Helper for static registration blocks.
+class OpRegistrar {
+ public:
+  explicit OpRegistrar(OpDef def) { CHECK_OK(OpRegistry::Global()->Register(std::move(def))); }
+};
+
+// ---- Reusable shape functions ----
+
+// Output shape equals the first input's shape.
+Status SameAsFirstInputShape(const Node& node,
+                             const std::vector<tensor::TensorShape>& input_shapes,
+                             tensor::TensorShape* output_shape);
+
+// Output shape comes from the node's "shape" attribute.
+Status ShapeFromAttr(const Node& node, const std::vector<tensor::TensorShape>& input_shapes,
+                     tensor::TensorShape* output_shape);
+
+// Scalar output.
+Status ScalarShape(const Node& node, const std::vector<tensor::TensorShape>& input_shapes,
+                   tensor::TensorShape* output_shape);
+
+}  // namespace graph
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_GRAPH_OP_REGISTRY_H_

@@ -1,0 +1,336 @@
+#include "src/models/model_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace models {
+
+using tensor::TensorShape;
+
+uint64_t ModelSpec::TotalParamBytes() const {
+  uint64_t total = 0;
+  for (const LayerSpec& layer : layers) {
+    for (const VariableSpec& var : layer.vars) total += var.bytes();
+  }
+  return total;
+}
+
+int ModelSpec::NumVariables() const {
+  int count = 0;
+  for (const LayerSpec& layer : layers) count += static_cast<int>(layer.vars.size());
+  return count;
+}
+
+std::vector<VariableSpec> ModelSpec::AllVariables() const {
+  std::vector<VariableSpec> out;
+  for (const LayerSpec& layer : layers) {
+    for (const VariableSpec& var : layer.vars) out.push_back(var);
+  }
+  return out;
+}
+
+namespace {
+
+// Distributes per-sample compute time across layers proportionally to their
+// parameter counts (with a floor so parameter-free paths still cost time).
+void AssignCostShares(ModelSpec* spec) {
+  double total = 0;
+  std::vector<double> weights;
+  for (const LayerSpec& layer : spec->layers) {
+    double w = 0;
+    for (const VariableSpec& var : layer.vars) {
+      w += static_cast<double>(var.shape.num_elements());
+    }
+    w = std::max(w, 1000.0);
+    weights.push_back(w);
+    total += w;
+  }
+  for (size_t i = 0; i < spec->layers.size(); ++i) {
+    spec->layers[i].cost_share = weights[i] / total;
+  }
+}
+
+// Convenience: a layer holding one weight matrix + bias.
+LayerSpec DenseLayer(const std::string& name, int64_t in, int64_t out) {
+  LayerSpec layer;
+  layer.name = name;
+  layer.vars.push_back({name + "/W", TensorShape{in, out}});
+  layer.vars.push_back({name + "/b", TensorShape{out}});
+  layer.activation_dim = out;
+  return layer;
+}
+
+LayerSpec ConvLayer(const std::string& name, int64_t k, int64_t cin, int64_t cout,
+                    int64_t activation_dim) {
+  LayerSpec layer;
+  layer.name = name;
+  layer.vars.push_back({name + "/W", TensorShape{k, k, cin, cout}});
+  layer.vars.push_back({name + "/b", TensorShape{cout}});
+  layer.activation_dim = activation_dim;
+  return layer;
+}
+
+}  // namespace
+
+ModelSpec AlexNet() {
+  ModelSpec spec;
+  spec.name = "AlexNet";
+  spec.per_sample_time_ms = 7.61;
+  spec.saturation_batch = 128;  // §5.2: execution time stable across batches.
+  spec.table_size_mb = 176.42;
+  spec.table_num_vars = 16;
+  spec.input_dim = 224 * 224 * 3;
+  spec.layers.push_back(ConvLayer("conv1", 11, 3, 96, 96 * 55 * 55));
+  spec.layers.push_back(ConvLayer("conv2", 5, 96, 256, 256 * 27 * 27));
+  spec.layers.push_back(ConvLayer("conv3", 3, 256, 384, 384 * 13 * 13));
+  spec.layers.push_back(ConvLayer("conv4", 3, 384, 384, 384 * 13 * 13));
+  spec.layers.push_back(ConvLayer("conv5", 3, 384, 256, 256 * 13 * 13));
+  spec.layers.push_back(DenseLayer("fc6", 6400, 4096));
+  spec.layers.push_back(DenseLayer("fc7", 4096, 3194));  // Width solved for 176.42 MB.
+  spec.layers.push_back(DenseLayer("fc8", 3194, 1000));
+  AssignCostShares(&spec);
+  return spec;
+}
+
+ModelSpec InceptionV3() {
+  // Inception-style generator at width multiplier 0.79: 5 stem convs, 11
+  // blocks of 8 convs, 2x2 reduction convs, one classifier — 97 convs (W+b)
+  // + fc (W+b) = 196 variables, 92.9 MB.
+  constexpr double kWidth = 0.79;
+  ModelSpec spec;
+  spec.name = "Inception-v3";
+  spec.per_sample_time_ms = 68.32;
+  spec.saturation_batch = 32;
+  spec.table_size_mb = 92.90;
+  spec.table_num_vars = 196;
+  spec.input_dim = 299 * 299 * 3;
+
+  auto scaled = [](int c) { return std::max<int64_t>(8, static_cast<int64_t>(c * kWidth)); };
+  int conv_index = 0;
+  int64_t cin = 3;
+  auto add_conv = [&](int64_t k, int64_t cout, int64_t spatial) {
+    spec.layers.push_back(
+        ConvLayer(StrCat("conv", conv_index++), k, cin, cout, cout * spatial));
+    cin = cout;
+  };
+  // Stem.
+  add_conv(3, scaled(32), 149 * 149);
+  add_conv(3, scaled(32), 147 * 147);
+  add_conv(3, scaled(64), 147 * 147);
+  add_conv(1, scaled(80), 73 * 73);
+  add_conv(3, scaled(192), 71 * 71);
+
+  struct Block {
+    int c1, c2, c3, c4;
+  };
+  const Block kBlocks[] = {{64, 96, 96, 32},    {64, 96, 96, 64},   {64, 96, 96, 64},
+                           {128, 128, 192, 96}, {160, 160, 192, 96}, {160, 160, 192, 96},
+                           {192, 192, 192, 96}, {192, 192, 256, 128}, {224, 224, 256, 128},
+                           {256, 256, 320, 160}, {256, 256, 320, 160}};
+  int64_t spatial = 35 * 35;
+  for (int b = 0; b < 11; ++b) {
+    const int64_t block_in = cin;
+    const int64_t c1 = scaled(kBlocks[b].c1);
+    const int64_t c2 = scaled(kBlocks[b].c2);
+    const int64_t c3 = scaled(kBlocks[b].c3);
+    const int64_t c4 = scaled(kBlocks[b].c4);
+    // Branch 1: 1x1.
+    cin = block_in;
+    add_conv(1, c1, spatial);
+    // Branch 2: 1x1 -> 3x3.
+    cin = block_in;
+    add_conv(1, c2, spatial);
+    add_conv(3, c2, spatial);
+    // Branch 3: 1x1 -> 3x3 -> 3x3.
+    cin = block_in;
+    add_conv(1, c3, spatial);
+    add_conv(3, c3, spatial);
+    add_conv(3, c3, spatial);
+    // Branch 4: pool projection.
+    cin = block_in;
+    add_conv(1, c4, spatial);
+    // Concatenated output fused by a 1x1.
+    cin = c1 + c2 + c3 + c4;
+    add_conv(1, cin, spatial);
+    if (b == 3 || b == 7) {
+      spatial /= 4;  // Grid reduction.
+      add_conv(3, cin, spatial);
+      add_conv(3, cin, spatial);
+    }
+  }
+  spec.layers.push_back(DenseLayer("logits", cin, 1000));
+  AssignCostShares(&spec);
+  return spec;
+}
+
+ModelSpec Vgg16() {
+  ModelSpec spec;
+  spec.name = "VGGNet-16";
+  spec.per_sample_time_ms = 30.92;
+  spec.saturation_batch = 128;  // Communication-bound; flat compute (§5.2).
+  spec.table_size_mb = 512.32;
+  spec.table_num_vars = 32;
+  spec.input_dim = 224 * 224 * 3;
+  const int64_t channels[13][2] = {{3, 64},    {64, 64},   {64, 128},  {128, 128}, {128, 256},
+                                   {256, 256}, {256, 256}, {256, 512}, {512, 512}, {512, 512},
+                                   {512, 512}, {512, 512}, {512, 512}};
+  const int64_t spatial[13] = {224 * 224, 224 * 224, 112 * 112, 112 * 112, 56 * 56,
+                               56 * 56,   56 * 56,   28 * 28,   28 * 28,   28 * 28,
+                               14 * 14,   14 * 14,   14 * 14};
+  for (int i = 0; i < 13; ++i) {
+    spec.layers.push_back(ConvLayer(StrCat("conv", i + 1), 3, channels[i][0], channels[i][1],
+                                    channels[i][1] * spatial[i]));
+  }
+  spec.layers.push_back(DenseLayer("fc6", 24098, 4096));  // Input width solved for 512.32 MB.
+  spec.layers.push_back(DenseLayer("fc7", 4096, 4096));
+  spec.layers.push_back(DenseLayer("fc8", 4096, 1000));
+  AssignCostShares(&spec);
+  return spec;
+}
+
+namespace {
+
+// Gated RNN builder shared by LSTM and GRU: |gates| x (W_x, W_h, b) with
+// hidden width 1024, plus a 1000-way softmax.
+ModelSpec GatedRnn(const std::string& name, int gates, double per_sample_ms,
+                   double table_size_mb, int table_vars) {
+  constexpr int64_t kHidden = 1024;
+  ModelSpec spec;
+  spec.name = name;
+  spec.per_sample_time_ms = per_sample_ms;
+  spec.saturation_batch = 32;
+  spec.recurrent = true;
+  spec.table_size_mb = table_size_mb;
+  spec.table_num_vars = table_vars;
+  spec.input_dim = kHidden;
+  static const char* kGateNames[] = {"i", "f", "o", "c"};
+  for (int g = 0; g < gates; ++g) {
+    LayerSpec layer;
+    layer.name = StrCat("gate_", kGateNames[g]);
+    layer.vars.push_back({layer.name + "/Wx", TensorShape{kHidden, kHidden}});
+    layer.vars.push_back({layer.name + "/Wh", TensorShape{kHidden, kHidden}});
+    layer.vars.push_back({layer.name + "/b", TensorShape{kHidden}});
+    layer.activation_dim = kHidden;
+    spec.layers.push_back(layer);
+  }
+  spec.layers.push_back(DenseLayer("softmax", kHidden, 1000));
+  AssignCostShares(&spec);
+  return spec;
+}
+
+}  // namespace
+
+ModelSpec Lstm() { return GatedRnn("LSTM", 4, 33.33, 35.93, 14); }
+ModelSpec Gru() { return GatedRnn("GRU", 3, 30.44, 27.92, 11); }
+
+ModelSpec Fcn5() {
+  ModelSpec spec;
+  spec.name = "FCN-5";
+  spec.per_sample_time_ms = 4.88;
+  spec.saturation_batch = 128;  // Communication-bound; flat compute (§5.2).
+  spec.table_size_mb = 204.47;
+  spec.table_num_vars = 10;
+  spec.input_dim = 2342;  // Solved for 204.47 MB with hidden width 4096.
+  spec.layers.push_back(DenseLayer("fc1", 2342, 4096));
+  spec.layers.push_back(DenseLayer("fc2", 4096, 4096));
+  spec.layers.push_back(DenseLayer("fc3", 4096, 4096));
+  spec.layers.push_back(DenseLayer("fc4", 4096, 2048));
+  spec.layers.push_back(DenseLayer("fc5", 2048, 1000));
+  AssignCostShares(&spec);
+  return spec;
+}
+
+std::vector<ModelSpec> AllBenchmarkModels() {
+  return {AlexNet(), InceptionV3(), Vgg16(), Lstm(), Gru(), Fcn5()};
+}
+
+ModelSpec Cifar10() {
+  // The TF CIFAR-10 tutorial model: 2 convs + 3 dense layers, ~4.5 MB —
+  // small tensors, fast steps; convergence is compute/latency bound.
+  ModelSpec spec;
+  spec.name = "CIFAR";
+  spec.per_sample_time_ms = 0.9;
+  spec.saturation_batch = 128;
+  spec.layers.push_back(ConvLayer("conv1", 5, 3, 64, 64 * 24 * 24));
+  spec.layers.push_back(ConvLayer("conv2", 5, 64, 64, 64 * 12 * 12));
+  spec.layers.push_back(DenseLayer("fc3", 2304, 384));
+  spec.layers.push_back(DenseLayer("fc4", 384, 192));
+  spec.layers.push_back(DenseLayer("fc5", 192, 10));
+  spec.input_dim = 32 * 32 * 3;
+  AssignCostShares(&spec);
+  return spec;
+}
+
+ModelSpec Seq2Seq() {
+  // Sequence-to-sequence translation (WMT-style): encoder + decoder LSTMs
+  // with large embedding/softmax over a 40k vocabulary — communication-heavy
+  // relative to its compute, like the paper's Figure 10(a) workload.
+  constexpr int64_t kHidden = 1024;
+  constexpr int64_t kVocab = 40000;
+  ModelSpec spec;
+  spec.name = "Seq2Seq";
+  spec.per_sample_time_ms = 45.0;
+  spec.saturation_batch = 32;
+  spec.recurrent = true;
+  spec.input_dim = kHidden;
+  LayerSpec embed;
+  embed.name = "embedding";
+  embed.vars.push_back({"embedding/E", TensorShape{kVocab, kHidden}});
+  embed.activation_dim = kHidden;
+  spec.layers.push_back(embed);
+  for (const char* side : {"enc", "dec"}) {
+    for (int g = 0; g < 4; ++g) {
+      LayerSpec layer;
+      layer.name = StrCat(side, "_gate", g);
+      layer.vars.push_back({layer.name + "/Wx", TensorShape{kHidden, kHidden}});
+      layer.vars.push_back({layer.name + "/Wh", TensorShape{kHidden, kHidden}});
+      layer.vars.push_back({layer.name + "/b", TensorShape{kHidden}});
+      layer.activation_dim = kHidden;
+      spec.layers.push_back(layer);
+    }
+  }
+  spec.layers.push_back(DenseLayer("softmax", kHidden, kVocab));
+  AssignCostShares(&spec);
+  return spec;
+}
+
+ModelSpec SentenceEmbedding() {
+  // The paper's production sentence-embedding task: two RNN towers over a
+  // very large vocabulary. The 280k x 1024 embedding is a single 1.07 GB
+  // variable tensor — the message that crashed TF's gRPC.RDMA path
+  // (Figure 10(c) has no gRPC.RDMA curve).
+  constexpr int64_t kHidden = 1024;
+  constexpr int64_t kVocab = 280000;
+  ModelSpec spec;
+  spec.name = "SE";
+  spec.per_sample_time_ms = 18.0;
+  spec.saturation_batch = 32;
+  spec.recurrent = true;
+  spec.input_dim = kHidden;
+  LayerSpec embed;
+  embed.name = "embedding";
+  embed.vars.push_back({"embedding/E", TensorShape{kVocab, kHidden}, /*shardable=*/false});
+  embed.activation_dim = kHidden;
+  spec.layers.push_back(embed);
+  for (const char* tower : {"query", "doc"}) {
+    for (int g = 0; g < 3; ++g) {
+      LayerSpec layer;
+      layer.name = StrCat(tower, "_gate", g);
+      layer.vars.push_back({layer.name + "/Wx", TensorShape{kHidden, kHidden}});
+      layer.vars.push_back({layer.name + "/Wh", TensorShape{kHidden, kHidden}});
+      layer.vars.push_back({layer.name + "/b", TensorShape{kHidden}});
+      layer.activation_dim = kHidden;
+      spec.layers.push_back(layer);
+    }
+  }
+  spec.layers.push_back(DenseLayer("proj", kHidden, 128));
+  AssignCostShares(&spec);
+  return spec;
+}
+
+}  // namespace models
+}  // namespace rdmadl

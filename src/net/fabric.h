@@ -1,0 +1,122 @@
+// Simulated cluster fabric: hosts connected by a full-bisection network.
+//
+// Each host has one egress and one ingress link; a transfer occupies the
+// source egress and destination ingress for bytes/bandwidth seconds (chunked
+// at a configurable granularity so concurrent transfers share bandwidth
+// fairly), then lands after the plane's one-way latency. Both the RDMA plane
+// and the TCP plane run over the same physical links but with different
+// effective bandwidths and latencies from the CostModel.
+#ifndef RDMADL_SRC_NET_FABRIC_H_
+#define RDMADL_SRC_NET_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/cost_model.h"
+#include "src/sim/simulator.h"
+#include "src/util/logging.h"
+
+namespace rdmadl {
+namespace net {
+
+// A unidirectional serialization point (a NIC port direction). Transfers
+// reserve time on the link; the link hands back the completion time.
+class Link {
+ public:
+  explicit Link(std::string name) : name_(std::move(name)) {}
+
+  // Reserves |duration_ns| of link time starting no earlier than |now|.
+  // Returns the time at which the reserved slot *ends*.
+  int64_t Reserve(int64_t now, int64_t duration_ns) {
+    const int64_t start = std::max(now, next_free_ns_);
+    next_free_ns_ = start + duration_ns;
+    busy_ns_total_ += duration_ns;
+    return next_free_ns_;
+  }
+
+  int64_t next_free_ns() const { return next_free_ns_; }
+  int64_t busy_ns_total() const { return busy_ns_total_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  int64_t next_free_ns_ = 0;
+  int64_t busy_ns_total_ = 0;  // For utilization accounting.
+};
+
+// One simulated server.
+class Host {
+ public:
+  Host(int id, sim::Simulator* simulator, const CostModel* cost);
+
+  int id() const { return id_; }
+  sim::Simulator* simulator() const { return simulator_; }
+  const CostModel& cost() const { return *cost_; }
+
+  Link& egress() { return egress_; }
+  Link& ingress() { return ingress_; }
+  // The loopback path has its own serialization point so same-host traffic
+  // does not contend with the wire.
+  Link& loopback() { return loopback_; }
+  // PCIe link to the (simulated) GPU, used for staging copies and GDR.
+  Link& pcie() { return pcie_; }
+
+ private:
+  int id_;
+  sim::Simulator* simulator_;
+  const CostModel* cost_;
+  Link egress_;
+  Link ingress_;
+  Link loopback_;
+  Link pcie_;
+};
+
+// Which plane a transfer runs on; selects bandwidth/latency constants.
+enum class Plane { kRdma, kTcp };
+
+struct TransferStats {
+  uint64_t transfers = 0;
+  uint64_t bytes = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator* simulator, const CostModel& cost, int num_hosts);
+
+  Host* host(int id) {
+    CHECK_GE(id, 0);
+    CHECK_LT(id, static_cast<int>(hosts_.size()));
+    return hosts_[id].get();
+  }
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  sim::Simulator* simulator() const { return simulator_; }
+  const CostModel& cost() const { return cost_; }
+
+  // Moves |bytes| from |src| to |dst| on |plane|. Bytes are delivered in
+  // ascending offset order: |on_chunk| (optional) fires once per delivered
+  // segment with (offset, length); |on_complete| fires when the last segment
+  // has landed. The transfer starts after |initiation_delay_ns| of sender-side
+  // processing (e.g. NIC WQE fetch) from the current virtual time.
+  void Transfer(int src, int dst, uint64_t bytes, Plane plane, int64_t initiation_delay_ns,
+                std::function<void(uint64_t offset, uint64_t length)> on_chunk,
+                std::function<void()> on_complete);
+
+  const TransferStats& stats(Plane plane) const {
+    return plane == Plane::kRdma ? rdma_stats_ : tcp_stats_;
+  }
+
+ private:
+  sim::Simulator* simulator_;
+  CostModel cost_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  TransferStats rdma_stats_;
+  TransferStats tcp_stats_;
+};
+
+}  // namespace net
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_NET_FABRIC_H_

@@ -1,0 +1,30 @@
+#include "src/ops/kernel.h"
+
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace ops {
+
+KernelRegistry* KernelRegistry::Global() {
+  static KernelRegistry* registry = new KernelRegistry();
+  return registry;
+}
+
+Status KernelRegistry::Register(const std::string& op, KernelFactory factory) {
+  if (factories_.count(op) > 0) {
+    return AlreadyExists(StrCat("kernel already registered for op ", op));
+  }
+  factories_[op] = std::move(factory);
+  return OkStatus();
+}
+
+StatusOr<std::unique_ptr<OpKernel>> KernelRegistry::Create(const graph::Node& node) const {
+  auto it = factories_.find(node.op());
+  if (it == factories_.end()) {
+    return NotFound(StrCat("no kernel for op ", node.op(), " (node ", node.name(), ")"));
+  }
+  return it->second(node);
+}
+
+}  // namespace ops
+}  // namespace rdmadl

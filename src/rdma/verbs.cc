@@ -1,0 +1,303 @@
+#include "src/rdma/verbs.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace rdma {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kWrite:
+      return "RDMA_WRITE";
+    case Opcode::kRead:
+      return "RDMA_READ";
+    case Opcode::kSend:
+      return "SEND";
+    case Opcode::kRecv:
+      return "RECV";
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------- CompletionQueue
+
+bool CompletionQueue::Poll(WorkCompletion* wc) {
+  if (entries_.empty()) return false;
+  *wc = std::move(entries_.front());
+  entries_.pop_front();
+  return true;
+}
+
+void CompletionQueue::Push(WorkCompletion wc) {
+  entries_.push_back(std::move(wc));
+  if (handler_) {
+    // The handler models the device library's CQ poller context picking the
+    // entry up; the cq_poll_overhead is charged by the QP before pushing.
+    handler_();
+  }
+}
+
+// ----------------------------------------------------------------- QueuePair
+
+Status QueuePair::Connect(QueuePair* peer) {
+  if (peer_ != nullptr) {
+    return FailedPrecondition("QP already connected");
+  }
+  if (peer == nullptr || peer == this) {
+    return InvalidArgument("invalid peer QP");
+  }
+  peer_ = peer;
+  if (peer->peer_ == nullptr) {
+    peer->peer_ = this;
+  } else if (peer->peer_ != this) {
+    return FailedPrecondition("peer QP connected elsewhere");
+  }
+  return OkStatus();
+}
+
+Status QueuePair::PostSend(const SendWorkRequest& wr) {
+  if (peer_ == nullptr) {
+    return FailedPrecondition("QP not connected");
+  }
+  if (wr.opcode == Opcode::kRecv) {
+    return InvalidArgument("RECV must be posted via PostRecv");
+  }
+  if (nic_->FindLocalRegion(wr.lkey, wr.local_addr, wr.length) == nullptr) {
+    return InvalidArgument(StrCat("local buffer not registered: lkey=", wr.lkey, " addr=",
+                                  wr.local_addr, " len=", wr.length));
+  }
+  send_queue_.push_back(wr);
+  MaybeStartNext();
+  return OkStatus();
+}
+
+Status QueuePair::PostRecv(const RecvWorkRequest& wr) {
+  if (nic_->FindLocalRegion(wr.lkey, wr.addr, wr.length) == nullptr) {
+    return InvalidArgument("recv buffer not registered");
+  }
+  recv_queue_.push_back(wr);
+  MatchInbound();
+  return OkStatus();
+}
+
+void QueuePair::MaybeStartNext() {
+  if (engine_busy_ || send_queue_.empty()) return;
+  engine_busy_ = true;
+  SendWorkRequest wr = send_queue_.front();
+  send_queue_.pop_front();
+  // Posting overhead (doorbell + WQE fetch) before the engine acts.
+  nic_->simulator()->ScheduleAfter(nic_->cost().rdma_post_overhead_ns,
+                                   [this, wr]() { Execute(wr); });
+}
+
+void QueuePair::Execute(const SendWorkRequest& wr) {
+  switch (wr.opcode) {
+    case Opcode::kWrite:
+      ExecuteWrite(wr);
+      return;
+    case Opcode::kRead:
+      ExecuteRead(wr);
+      return;
+    case Opcode::kSend:
+      ExecuteSend(wr);
+      return;
+    case Opcode::kRecv:
+      break;
+  }
+  FinishCurrent(wr, Internal("bad opcode"), 0);
+}
+
+void QueuePair::ExecuteWrite(const SendWorkRequest& wr) {
+  NicDevice* target_nic = peer_->nic_;
+  const MemoryRegion* target =
+      target_nic->FindRemoteRegion(wr.rkey, wr.remote_addr, wr.length);
+  if (target == nullptr) {
+    ++target_nic->stats_.rkey_violations;
+    FinishCurrent(wr,
+                  Status(StatusCode::kInvalidArgument,
+                         StrCat("remote access violation: rkey=", wr.rkey, " addr=",
+                                wr.remote_addr, " len=", wr.length)),
+                  0);
+    return;
+  }
+  ++nic_->stats_.writes;
+  nic_->stats_.write_bytes += wr.length;
+  const uint8_t* src = reinterpret_cast<const uint8_t*>(wr.local_addr);
+  uint8_t* dst = reinterpret_cast<uint8_t*>(wr.remote_addr);
+  nic_->fabric()->Transfer(
+      nic_->host_id(), target_nic->host_id(), wr.length, net::Plane::kRdma,
+      nic_->cost().rdma_nic_processing_ns,
+      // Segments land in ascending address order; each is copied for real so
+      // a flag-byte poller on the target sees partial tensors faithfully.
+      [src, dst, copy = wr.copy_bytes](uint64_t offset, uint64_t length) {
+        if (copy) std::memcpy(dst + offset, src + offset, length);
+      },
+      [this, wr]() { FinishCurrent(wr, OkStatus(), wr.length); });
+}
+
+void QueuePair::ExecuteRead(const SendWorkRequest& wr) {
+  NicDevice* target_nic = peer_->nic_;
+  const MemoryRegion* target =
+      target_nic->FindRemoteRegion(wr.rkey, wr.remote_addr, wr.length);
+  if (target == nullptr) {
+    ++target_nic->stats_.rkey_violations;
+    FinishCurrent(wr, InvalidArgument("remote access violation on RDMA read"), 0);
+    return;
+  }
+  ++nic_->stats_.reads;
+  nic_->stats_.read_bytes += wr.length;
+  const uint8_t* src = reinterpret_cast<const uint8_t*>(wr.remote_addr);
+  uint8_t* dst = reinterpret_cast<uint8_t*>(wr.local_addr);
+  // The read request first travels to the target (one-way latency + remote
+  // NIC processing), then the data streams back.
+  const int64_t request_trip =
+      nic_->cost().rdma_nic_processing_ns + nic_->cost().rdma_one_way_latency_ns +
+      nic_->cost().rdma_nic_processing_ns;
+  nic_->fabric()->Transfer(
+      target_nic->host_id(), nic_->host_id(), wr.length, net::Plane::kRdma, request_trip,
+      [src, dst, copy = wr.copy_bytes](uint64_t offset, uint64_t length) {
+        if (copy) std::memcpy(dst + offset, src + offset, length);
+      },
+      [this, wr]() { FinishCurrent(wr, OkStatus(), wr.length); });
+}
+
+void QueuePair::ExecuteSend(const SendWorkRequest& wr) {
+  ++nic_->stats_.sends;
+  nic_->stats_.send_bytes += wr.length;
+  const uint8_t* src = reinterpret_cast<const uint8_t*>(wr.local_addr);
+  QueuePair* peer = peer_;
+  nic_->fabric()->Transfer(nic_->host_id(), peer->nic_->host_id(), wr.length, net::Plane::kRdma,
+                           nic_->cost().rdma_nic_processing_ns, nullptr,
+                           [this, peer, src, wr]() {
+                             peer->DeliverInbound(src, wr.length, wr.copy_bytes);
+                             FinishCurrent(wr, OkStatus(), wr.length);
+                           });
+}
+
+void QueuePair::FinishCurrent(const SendWorkRequest& wr, Status status, uint64_t bytes) {
+  WorkCompletion wc;
+  wc.wr_id = wr.wr_id;
+  wc.opcode = wr.opcode;
+  wc.status = std::move(status);
+  wc.byte_len = bytes;
+  wc.qp_num = qp_num_;
+  // CQE generation + poller pickup overhead, then release the engine.
+  nic_->simulator()->ScheduleAfter(nic_->cost().cq_poll_overhead_ns, [this, wc]() {
+    engine_busy_ = false;
+    send_cq_->Push(wc);
+    MaybeStartNext();
+  });
+}
+
+void QueuePair::DeliverInbound(const uint8_t* src, uint64_t length, bool copy_bytes) {
+  inbound_.push_back(InboundMessage{src, length, copy_bytes});
+  MatchInbound();
+}
+
+void QueuePair::MatchInbound() {
+  while (!inbound_.empty() && !recv_queue_.empty()) {
+    InboundMessage msg = inbound_.front();
+    inbound_.pop_front();
+    RecvWorkRequest recv = recv_queue_.front();
+    recv_queue_.pop_front();
+
+    WorkCompletion wc;
+    wc.wr_id = recv.wr_id;
+    wc.opcode = Opcode::kRecv;
+    wc.qp_num = qp_num_;
+    if (msg.length > recv.length) {
+      wc.status = InvalidArgument(
+          StrCat("inbound SEND of ", msg.length, " bytes exceeds posted recv buffer of ",
+                 recv.length, " bytes"));
+      wc.byte_len = 0;
+    } else {
+      if (msg.length > 0 && msg.copy_bytes) {
+        std::memcpy(reinterpret_cast<void*>(recv.addr), msg.src, msg.length);
+      }
+      wc.status = OkStatus();
+      wc.byte_len = msg.length;
+    }
+    nic_->simulator()->ScheduleAfter(nic_->cost().cq_poll_overhead_ns,
+                                     [this, wc]() { recv_cq_->Push(wc); });
+  }
+}
+
+// ------------------------------------------------------------------ NicDevice
+
+NicDevice::NicDevice(net::Fabric* fabric, int host_id) : fabric_(fabric), host_id_(host_id) {}
+
+StatusOr<MemoryRegion> NicDevice::RegisterMemory(void* addr, uint64_t length) {
+  if (addr == nullptr || length == 0) {
+    return InvalidArgument("cannot register empty region");
+  }
+  if (num_registered_regions() >= cost().max_memory_regions) {
+    return ResourceExhausted(StrCat("NIC MR limit reached (", cost().max_memory_regions, ")"));
+  }
+  MemoryRegion mr;
+  mr.addr = reinterpret_cast<uint64_t>(addr);
+  mr.length = length;
+  mr.lkey = next_key_++;
+  mr.rkey = next_key_++;
+  mrs_by_lkey_[mr.lkey] = mr;
+  mrs_by_rkey_[mr.rkey] = mr;
+  ++stats_.registrations;
+  stats_.registration_cost_ns_total += RegistrationCost(length);
+  return mr;
+}
+
+Status NicDevice::DeregisterMemory(const MemoryRegion& mr) {
+  const bool erased_l = mrs_by_lkey_.erase(mr.lkey) > 0;
+  const bool erased_r = mrs_by_rkey_.erase(mr.rkey) > 0;
+  if (!erased_l || !erased_r) {
+    return NotFound("memory region not registered");
+  }
+  return OkStatus();
+}
+
+int64_t NicDevice::RegistrationCost(uint64_t length) const {
+  const uint64_t pages = (length + cost().mr_page_bytes - 1) / cost().mr_page_bytes;
+  return cost().mr_register_base_ns +
+         static_cast<int64_t>(pages) * cost().mr_register_per_page_ns;
+}
+
+CompletionQueue* NicDevice::CreateCompletionQueue() {
+  cqs_.push_back(std::make_unique<CompletionQueue>(this));
+  return cqs_.back().get();
+}
+
+QueuePair* NicDevice::CreateQueuePair(CompletionQueue* send_cq, CompletionQueue* recv_cq) {
+  CHECK(send_cq != nullptr && recv_cq != nullptr);
+  qps_.push_back(std::make_unique<QueuePair>(this, next_qp_num_++, send_cq, recv_cq));
+  return qps_.back().get();
+}
+
+const MemoryRegion* NicDevice::FindRemoteRegion(uint32_t rkey, uint64_t addr,
+                                                uint64_t len) const {
+  auto it = mrs_by_rkey_.find(rkey);
+  if (it == mrs_by_rkey_.end()) return nullptr;
+  if (!it->second.Contains(addr, len)) return nullptr;
+  return &it->second;
+}
+
+const MemoryRegion* NicDevice::FindLocalRegion(uint32_t lkey, uint64_t addr,
+                                               uint64_t len) const {
+  auto it = mrs_by_lkey_.find(lkey);
+  if (it == mrs_by_lkey_.end()) return nullptr;
+  if (!it->second.Contains(addr, len)) return nullptr;
+  return &it->second;
+}
+
+// ------------------------------------------------------------------ RdmaFabric
+
+RdmaFabric::RdmaFabric(net::Fabric* fabric) : fabric_(fabric) {
+  nics_.reserve(fabric->num_hosts());
+  for (int i = 0; i < fabric->num_hosts(); ++i) {
+    nics_.push_back(std::make_unique<NicDevice>(fabric, i));
+  }
+}
+
+}  // namespace rdma
+}  // namespace rdmadl

@@ -1,0 +1,236 @@
+// ibverbs-style RDMA layer over the simulated fabric.
+//
+// One NicDevice per host exposes the verbs the paper's device library (§3.1)
+// is built on: memory-region registration (with per-page pinning cost and a
+// hardware count limit), queue pairs with one-sided RDMA_WRITE / RDMA_READ and
+// two-sided SEND / RECV work requests, and completion queues.
+//
+// Semantics preserved from real reliable-connected (RC) transports:
+//   * WRs on one QP execute in FIFO order.
+//   * One-sided writes deliver bytes at the target in ascending address
+//     order, segment by segment (the property §3.2's tail-flag protocol
+//     needs). The segments are *actually copied* into the destination
+//     buffer as virtual time advances, so a poller on the remote "CPU" can
+//     observe partially-written tensors exactly as on real hardware.
+//   * rkey and bounds checks happen at the target NIC; violations surface as
+//     error completions, not crashes.
+//   * SENDs require a posted RECV at the target; arrivals wait (RNR-style)
+//     until one is posted. Overlong messages complete with an error.
+#ifndef RDMADL_SRC_RDMA_VERBS_H_
+#define RDMADL_SRC_RDMA_VERBS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/fabric.h"
+#include "src/util/status.h"
+
+namespace rdmadl {
+namespace rdma {
+
+// A registered, RDMA-accessible memory region.
+struct MemoryRegion {
+  uint64_t addr = 0;     // Start address (process pointer value).
+  uint64_t length = 0;   // Bytes covered.
+  uint32_t lkey = 0;     // Local access key.
+  uint32_t rkey = 0;     // Remote access key.
+
+  bool Contains(uint64_t a, uint64_t len) const {
+    return a >= addr && len <= length && a - addr <= length - len;
+  }
+};
+
+enum class Opcode { kWrite, kRead, kSend, kRecv };
+
+const char* OpcodeName(Opcode op);
+
+struct SendWorkRequest {
+  uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kWrite;
+  uint64_t local_addr = 0;
+  uint32_t lkey = 0;
+  uint64_t length = 0;
+  // For kWrite / kRead only:
+  uint64_t remote_addr = 0;
+  uint32_t rkey = 0;
+  // When false, the payload memcpy is elided (virtual-memory benchmark mode);
+  // timing, ordering and completion semantics are unchanged.
+  bool copy_bytes = true;
+};
+
+struct RecvWorkRequest {
+  uint64_t wr_id = 0;
+  uint64_t addr = 0;
+  uint32_t lkey = 0;
+  uint64_t length = 0;
+};
+
+struct WorkCompletion {
+  uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kWrite;
+  Status status;
+  uint64_t byte_len = 0;
+  uint32_t qp_num = 0;
+};
+
+class QueuePair;
+class NicDevice;
+
+// Completion queue. Entries are polled non-blockingly; a completion handler
+// can be installed to model a dedicated polling thread (the device library's
+// CQ poller contexts use this).
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(NicDevice* nic) : nic_(nic) {}
+
+  // Pops the oldest completion into |wc|; returns false if empty.
+  bool Poll(WorkCompletion* wc);
+
+  size_t depth() const { return entries_.size(); }
+
+  // Invoked (at CQE-generation virtual time) whenever an entry is pushed.
+  // The handler typically polls the queue dry.
+  void SetCompletionHandler(std::function<void()> handler) { handler_ = std::move(handler); }
+
+  NicDevice* nic() const { return nic_; }
+
+ private:
+  friend class QueuePair;
+  void Push(WorkCompletion wc);
+
+  NicDevice* nic_;
+  std::deque<WorkCompletion> entries_;
+  std::function<void()> handler_;
+};
+
+// Reliable-connected queue pair.
+class QueuePair {
+ public:
+  QueuePair(NicDevice* nic, uint32_t qp_num, CompletionQueue* send_cq, CompletionQueue* recv_cq)
+      : nic_(nic), qp_num_(qp_num), send_cq_(send_cq), recv_cq_(recv_cq) {}
+
+  // One-time connection to a peer QP (done out-of-band, mirroring RDMA CM).
+  Status Connect(QueuePair* peer);
+
+  Status PostSend(const SendWorkRequest& wr);
+  Status PostRecv(const RecvWorkRequest& wr);
+
+  uint32_t qp_num() const { return qp_num_; }
+  bool connected() const { return peer_ != nullptr; }
+  NicDevice* nic() const { return nic_; }
+  CompletionQueue* send_cq() const { return send_cq_; }
+  CompletionQueue* recv_cq() const { return recv_cq_; }
+
+ private:
+  friend class NicDevice;
+
+  struct InboundMessage {
+    const uint8_t* src = nullptr;
+    uint64_t length = 0;
+    bool copy_bytes = true;
+  };
+
+  // Starts the next queued send WR if the engine is idle.
+  void MaybeStartNext();
+  void Execute(const SendWorkRequest& wr);
+  void ExecuteWrite(const SendWorkRequest& wr);
+  void ExecuteRead(const SendWorkRequest& wr);
+  void ExecuteSend(const SendWorkRequest& wr);
+  void FinishCurrent(const SendWorkRequest& wr, Status status, uint64_t bytes);
+
+  // Target side of a SEND: match against posted receives.
+  void DeliverInbound(const uint8_t* src, uint64_t length, bool copy_bytes);
+  void MatchInbound();
+
+  NicDevice* nic_;
+  uint32_t qp_num_;
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+  QueuePair* peer_ = nullptr;
+
+  bool engine_busy_ = false;
+  std::deque<SendWorkRequest> send_queue_;
+  std::deque<RecvWorkRequest> recv_queue_;
+  std::deque<InboundMessage> inbound_;
+};
+
+struct NicStats {
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  uint64_t sends = 0;
+  uint64_t write_bytes = 0;
+  uint64_t read_bytes = 0;
+  uint64_t send_bytes = 0;
+  uint64_t registrations = 0;
+  int64_t registration_cost_ns_total = 0;
+  uint64_t rkey_violations = 0;
+};
+
+// One RDMA NIC on one host.
+class NicDevice {
+ public:
+  NicDevice(net::Fabric* fabric, int host_id);
+  NicDevice(const NicDevice&) = delete;
+  NicDevice& operator=(const NicDevice&) = delete;
+
+  // Registers [addr, addr+length) for RDMA access. Fails with
+  // kResourceExhausted once the hardware MR limit is reached. The pinning
+  // cost (base + per page) is accounted in stats; callers on the critical
+  // path should charge RegistrationCost(length) to their own timeline.
+  StatusOr<MemoryRegion> RegisterMemory(void* addr, uint64_t length);
+  Status DeregisterMemory(const MemoryRegion& mr);
+  int64_t RegistrationCost(uint64_t length) const;
+
+  CompletionQueue* CreateCompletionQueue();
+  QueuePair* CreateQueuePair(CompletionQueue* send_cq, CompletionQueue* recv_cq);
+
+  // Looks up the MR covering [addr, addr+len) with the given remote key.
+  const MemoryRegion* FindRemoteRegion(uint32_t rkey, uint64_t addr, uint64_t len) const;
+  const MemoryRegion* FindLocalRegion(uint32_t lkey, uint64_t addr, uint64_t len) const;
+
+  int host_id() const { return host_id_; }
+  net::Fabric* fabric() const { return fabric_; }
+  sim::Simulator* simulator() const { return fabric_->simulator(); }
+  const net::CostModel& cost() const { return fabric_->cost(); }
+  const NicStats& stats() const { return stats_; }
+  int num_registered_regions() const { return static_cast<int>(mrs_by_rkey_.size()); }
+
+ private:
+  friend class QueuePair;
+
+  net::Fabric* fabric_;
+  int host_id_;
+  uint32_t next_key_ = 1;
+  uint32_t next_qp_num_ = 1;
+  NicStats stats_;
+  std::unordered_map<uint32_t, MemoryRegion> mrs_by_rkey_;
+  std::unordered_map<uint32_t, MemoryRegion> mrs_by_lkey_;
+  std::vector<std::unique_ptr<CompletionQueue>> cqs_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+};
+
+// Owns one NicDevice per host of the underlying fabric.
+class RdmaFabric {
+ public:
+  explicit RdmaFabric(net::Fabric* fabric);
+
+  NicDevice* nic(int host_id) {
+    CHECK_GE(host_id, 0);
+    CHECK_LT(host_id, static_cast<int>(nics_.size()));
+    return nics_[host_id].get();
+  }
+  net::Fabric* fabric() const { return fabric_; }
+
+ private:
+  net::Fabric* fabric_;
+  std::vector<std::unique_ptr<NicDevice>> nics_;
+};
+
+}  // namespace rdma
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_RDMA_VERBS_H_

@@ -1,0 +1,287 @@
+#include "src/runtime/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/sim/trace.h"
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace runtime {
+
+using graph::Node;
+using tensor::Tensor;
+
+Executor::Executor(HostRuntime* host, const graph::Graph* graph, TransferMechanism* mechanism,
+                   const std::unordered_map<std::string, graph::TransferEdge>* edges_by_key,
+                   ExecutorOptions options)
+    : host_(host),
+      graph_(graph),
+      mechanism_(mechanism),
+      edges_by_key_(edges_by_key),
+      options_(options) {
+  CHECK_GT(options_.num_workers, 0);
+  kernels_.resize(graph->num_nodes());
+  total_deps_.resize(graph->num_nodes(), 0);
+  edge_of_node_.resize(graph->num_nodes(), nullptr);
+  for (const auto& node : graph->nodes()) {
+    total_deps_[node->id()] =
+        static_cast<int>(node->inputs().size() + node->control_inputs().size());
+    if (node->op() == "_Send" || node->op() == "_Recv") {
+      // Resolve the rendezvous key once; polling hits this on every attempt.
+      const std::string key = node->GetAttr<std::string>("tensor_name");
+      auto it = edges_by_key->find(key);
+      CHECK(it != edges_by_key->end()) << "unknown transfer edge " << key;
+      edge_of_node_[node->id()] = &it->second;
+      continue;
+    }
+    auto kernel = ops::KernelRegistry::Global()->Create(*node);
+    CHECK(kernel.ok()) << kernel.status();
+    kernels_[node->id()] = std::move(kernel).value();
+  }
+}
+
+Executor::~Executor() {
+  for (tensor::TracingAllocator* wrapper : hooked_wrappers_) {
+    wrapper->set_alloc_hook(nullptr);
+  }
+}
+
+tensor::Allocator* Executor::Wrap(tensor::Allocator* base) {
+  tensor::TracingAllocator* wrapper = host_->tracing_allocator(base);
+  wrapper->set_alloc_hook([this](void* ptr, size_t bytes) {
+    if (current_node_ != nullptr) {
+      mechanism_->OnAllocation(host_, *current_node_, ptr, bytes);
+    }
+  });
+  hooked_wrappers_.push_back(wrapper);
+  return wrapper;
+}
+
+int64_t Executor::CostOf(const Node& node) const {
+  const double per_sample_ns = node.GetAttrOr<double>("cost_ns", 0.0);
+  return options_.op_dispatch_ns +
+         static_cast<int64_t>(per_sample_ns * options_.batch_multiplier);
+}
+
+const graph::TransferEdge& Executor::EdgeOf(const Node& node) const {
+  const graph::TransferEdge* edge = edge_of_node_[node.id()];
+  CHECK(edge != nullptr) << "node " << node.name() << " is not a transfer op";
+  return *edge;
+}
+
+void Executor::RunStepAsync(const std::unordered_map<std::string, Tensor>* feeds,
+                            std::function<void(Status)> on_done) {
+  CHECK(!in_flight_) << "step already running on " << host_->device_name();
+  in_flight_ = true;
+  feeds_ = feeds;
+  on_done_ = std::move(on_done);
+  outputs_.assign(graph_->num_nodes(), Tensor());
+  pending_ = total_deps_;
+  ready_.clear();
+  remaining_ = graph_->num_nodes();
+  free_workers_ = options_.num_workers;
+  failed_ = false;
+  failed_polls_in_row_ = 0;
+  poll_interval_ns_ = host_->cost().idle_poll_interval_ns;
+  for (const auto& node : graph_->nodes()) {
+    if (pending_[node->id()] == 0) ready_.push_back(node.get());
+  }
+  if (remaining_ == 0) {
+    host_->simulator()->ScheduleAfter(0, [this]() {
+      in_flight_ = false;
+      auto done = std::move(on_done_);
+      done(OkStatus());
+    });
+    return;
+  }
+  MaybeDispatch();
+}
+
+const Tensor* Executor::OutputOf(const Node* node) const {
+  if (node == nullptr || node->id() >= static_cast<int>(outputs_.size())) return nullptr;
+  return &outputs_[node->id()];
+}
+
+const Tensor* Executor::OutputOf(const std::string& node_name) const {
+  return OutputOf(graph_->FindNode(node_name));
+}
+
+void Executor::MaybeDispatch() {
+  while (!failed_ && !ready_.empty()) {
+    // Polling-async fairness/livelock guard (§4): when every queued node is a
+    // poll that already failed this pass, yield and retry after the (backed-
+    // off) poll interval instead of spinning at the current instant.
+    if (failed_polls_in_row_ >= static_cast<int>(ready_.size())) {
+      if (!delayed_kick_scheduled_) {
+        delayed_kick_scheduled_ = true;
+        host_->simulator()->ScheduleAfter(poll_interval_ns_, [this]() {
+          delayed_kick_scheduled_ = false;
+          failed_polls_in_row_ = 0;
+          // Exponential backoff while nothing arrives (see CostModel).
+          poll_interval_ns_ =
+              std::min(poll_interval_ns_ * 2, host_->cost().idle_poll_max_interval_ns);
+          MaybeDispatch();
+        });
+      }
+      return;
+    }
+    Node* node = ready_.front();
+    // Polling receives are handled inline by the scheduler's polling pass and
+    // do not consume an executor worker: a poll attempt is ~100 ns, and a
+    // failed one re-enqueues the node at the tail of the ready queue.
+    if (node->op() == "_Recv" &&
+        mechanism_->recv_mode() == TransferMechanism::RecvMode::kPolling) {
+      ready_.pop_front();
+      PollRecv(node);
+      continue;
+    }
+    if (free_workers_ == 0) return;
+    ready_.pop_front();
+    --free_workers_;
+    StartNode(node);
+  }
+}
+
+void Executor::StartNode(Node* node) {
+  if (node->op() == "_Send") {
+    StartSend(node);
+  } else if (node->op() == "_Recv") {
+    StartRecv(node);
+  } else {
+    failed_polls_in_row_ = 0;
+    StartCompute(node);
+  }
+}
+
+void Executor::StartCompute(Node* node) {
+  ++stats_.nodes_executed;
+  mechanism_->OnNodeBegin(host_, *node);
+
+  std::vector<Tensor> inputs;
+  inputs.reserve(node->inputs().size());
+  for (const graph::NodeInput& in : node->inputs()) {
+    inputs.push_back(outputs_[in.node->id()]);
+  }
+  tensor::Allocator* base =
+      mechanism_->AllocatorForNode(host_, *node, host_->default_allocator());
+  current_node_ = node;
+  ops::OpKernelContext ctx(node, std::move(inputs), Wrap(base), host_->mode(),
+                           host_->resources(), feeds_);
+  Status status = kernels_[node->id()]->Compute(&ctx);
+  current_node_ = nullptr;
+  if (!status.ok()) {
+    FailStep(Status(status.code(),
+                    StrCat(node->name(), " (", node->op(), "): ", status.message())));
+    return;
+  }
+  Tensor output = ctx.output();
+  const int64_t cost = CostOf(*node);
+  if (options_.serialize_compute && cost > options_.op_dispatch_ns) {
+    // The kernel runs on the accelerator: reserve device time, free the
+    // dispatching CPU worker after the launch overhead.
+    const int64_t done_at = host_->compute_unit()->Reserve(
+        host_->simulator()->Now() + options_.op_dispatch_ns, cost - options_.op_dispatch_ns);
+    sim::TraceSpan(host_->device_name() + " compute", node->name(),
+                   done_at - (cost - options_.op_dispatch_ns), done_at);
+    host_->simulator()->ScheduleAfter(options_.op_dispatch_ns, [this]() { ReleaseWorker(); });
+    host_->simulator()->ScheduleAt(done_at, [this, node, output]() {
+      FinishNode(node, output);
+    });
+    return;
+  }
+  host_->simulator()->ScheduleAfter(cost, [this, node, output]() {
+    ReleaseWorker();
+    FinishNode(node, output);
+  });
+}
+
+void Executor::StartSend(Node* node) {
+  failed_polls_in_row_ = 0;
+  ++stats_.nodes_executed;
+  const graph::TransferEdge& edge = EdgeOf(*node);
+  Tensor tensor = outputs_[node->inputs()[0].node->id()];
+  const int64_t send_start = host_->simulator()->Now();
+  const int64_t sync_cost =
+      mechanism_->Send(edge, tensor, [this, node, tensor, send_start, &edge](Status status) {
+        if (!status.ok()) {
+          FailStep(status);
+          return;
+        }
+        sim::TraceSpan(host_->device_name() + " send", edge.key, send_start,
+                       host_->simulator()->Now());
+        FinishNode(node, tensor);
+      });
+  host_->simulator()->ScheduleAfter(options_.op_dispatch_ns + sync_cost,
+                                    [this]() { ReleaseWorker(); });
+}
+
+void Executor::StartRecv(Node* node) {
+  ++stats_.nodes_executed;
+  failed_polls_in_row_ = 0;
+  const graph::TransferEdge& edge = EdgeOf(*node);
+  mechanism_->RecvAsync(edge, [this, node](const Status& status, Tensor tensor) {
+    if (!status.ok()) {
+      FailStep(status);
+      return;
+    }
+    FinishNode(node, std::move(tensor));
+  });
+  host_->simulator()->ScheduleAfter(options_.op_dispatch_ns, [this]() { ReleaseWorker(); });
+}
+
+void Executor::PollRecv(Node* node) {
+  ++stats_.poll_attempts;
+  const graph::TransferEdge& edge = EdgeOf(*node);
+  Tensor received;
+  const bool ready = mechanism_->TryRecv(edge, &received);
+  const int64_t poll_cost = host_->cost().flag_poll_cost_ns;
+  if (ready) {
+    ++stats_.nodes_executed;
+    failed_polls_in_row_ = 0;
+    poll_interval_ns_ = host_->cost().idle_poll_interval_ns;
+    // Clear-flag + dependent activation cost, then complete.
+    host_->simulator()->ScheduleAfter(poll_cost,
+                                      [this, node, received]() { FinishNode(node, received); });
+    return;
+  }
+  // Failed poll: back to the tail of the ready queue, synchronously (§4).
+  ++stats_.failed_polls;
+  ++failed_polls_in_row_;
+  ready_.push_back(node);
+}
+
+void Executor::FinishNode(Node* node, Tensor output) {
+  if (failed_) return;
+  outputs_[node->id()] = std::move(output);
+  for (Node* consumer : node->consumers()) {
+    if (--pending_[consumer->id()] == 0) {
+      ready_.push_back(consumer);
+      failed_polls_in_row_ = 0;
+    }
+  }
+  if (--remaining_ == 0) {
+    in_flight_ = false;
+    ++stats_.steps;
+    auto done = std::move(on_done_);
+    done(OkStatus());
+    return;
+  }
+  MaybeDispatch();
+}
+
+void Executor::FailStep(const Status& status) {
+  if (failed_) return;
+  failed_ = true;
+  in_flight_ = false;
+  auto done = std::move(on_done_);
+  done(status);
+}
+
+void Executor::ReleaseWorker() {
+  ++free_workers_;
+  if (!failed_) MaybeDispatch();
+}
+
+}  // namespace runtime
+}  // namespace rdmadl

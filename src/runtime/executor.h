@@ -1,0 +1,135 @@
+// Executor: runs one graph partition on one process, one mini-batch step at
+// a time, over simulated worker contexts.
+//
+// Scheduling model (mirrors TensorFlow's, §4 of the paper):
+//   * nodes whose inputs are all ready sit in a ready queue; a fixed pool of
+//     worker contexts pops and executes them;
+//   * synchronous ops occupy a worker for their compute cost (from the node's
+//     "cost_ns" annotation, scaled by the batch multiplier);
+//   * _Send is asynchronous: the worker is held only for the mechanism's
+//     synchronous CPU portion; the node completes when the transfer does;
+//   * _Recv under a polling mechanism uses the paper's *polling-async* mode:
+//     a poll attempt is cheap; on failure the node is re-enqueued at the TAIL
+//     of the ready queue so polling never starves ready work. If only failed
+//     polls remain, the next attempt is delayed by idle_poll_interval (this
+//     both models a polling thread yielding and keeps the discrete-event
+//     simulation live).
+#ifndef RDMADL_SRC_RUNTIME_EXECUTOR_H_
+#define RDMADL_SRC_RUNTIME_EXECUTOR_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/ops/kernel.h"
+#include "src/runtime/host_runtime.h"
+#include "src/runtime/transfer.h"
+#include "src/util/status.h"
+
+namespace rdmadl {
+namespace runtime {
+
+struct ExecutorOptions {
+  int num_workers = 4;
+  // Compute-time scale: node cost = op_dispatch_ns + cost_ns_attr * batch_multiplier.
+  // The training driver sets the multiplier from the model's GPU-saturation
+  // law (flat until the saturation batch, then linear).
+  double batch_multiplier = 1.0;
+  // Fixed per-op dispatch overhead (kernel launch, scheduling).
+  int64_t op_dispatch_ns = 1'500;
+  // Cost-annotated ops serialize on the host's single accelerator
+  // (HostRuntime::compute_unit); the dispatching CPU worker is released after
+  // op_dispatch_ns, so communication ops overlap with device compute exactly
+  // as in TensorFlow.
+  bool serialize_compute = true;
+};
+
+struct ExecutorStats {
+  int64_t steps = 0;
+  int64_t nodes_executed = 0;
+  int64_t poll_attempts = 0;
+  int64_t failed_polls = 0;
+};
+
+class Executor {
+ public:
+  Executor(HostRuntime* host, const graph::Graph* graph, TransferMechanism* mechanism,
+           const std::unordered_map<std::string, graph::TransferEdge>* edges_by_key,
+           ExecutorOptions options);
+
+  // Runs the partition once. |feeds| must outlive the step. |on_done| fires
+  // in virtual time when every node has completed (or on first error).
+  void RunStepAsync(const std::unordered_map<std::string, tensor::Tensor>* feeds,
+                    std::function<void(Status)> on_done);
+
+  bool step_in_flight() const { return in_flight_; }
+  const ExecutorStats& stats() const { return stats_; }
+  HostRuntime* host() const { return host_; }
+  const graph::Graph* graph() const { return graph_; }
+
+  // Tensor produced by |node| during the current/most recent step. |node|
+  // must belong to this executor's partition graph.
+  const tensor::Tensor* OutputOf(const graph::Node* node) const;
+  // Looks the node up by name in the partition graph.
+  const tensor::Tensor* OutputOf(const std::string& node_name) const;
+
+ private:
+  // Allocation interception: installs this executor's hook on the host-owned
+  // TracingAllocator wrapper for |base|.
+  tensor::Allocator* Wrap(tensor::Allocator* base);
+
+  int64_t CostOf(const graph::Node& node) const;
+  const graph::TransferEdge& EdgeOf(const graph::Node& node) const;
+
+  void MaybeDispatch();
+  void StartNode(graph::Node* node);
+  void StartCompute(graph::Node* node);
+  void StartSend(graph::Node* node);
+  void StartRecv(graph::Node* node);
+  void PollRecv(graph::Node* node);
+  void FinishNode(graph::Node* node, tensor::Tensor output);
+  void FailStep(const Status& status);
+  void ReleaseWorker();
+
+  HostRuntime* host_;
+  const graph::Graph* graph_;
+  TransferMechanism* mechanism_;
+  const std::unordered_map<std::string, graph::TransferEdge>* edges_by_key_;
+  ExecutorOptions options_;
+  ExecutorStats stats_;
+
+  // Immutable after construction.
+  std::vector<std::unique_ptr<ops::OpKernel>> kernels_;  // By node id (null for _Send/_Recv).
+  std::vector<int> total_deps_;                          // Inputs + control inputs per node.
+  std::vector<const graph::TransferEdge*> edge_of_node_;  // By node id (transfer ops only).
+
+  // Per-step state.
+  bool in_flight_ = false;
+  const std::unordered_map<std::string, tensor::Tensor>* feeds_ = nullptr;
+  std::function<void(Status)> on_done_;
+  std::vector<tensor::Tensor> outputs_;
+  std::vector<int> pending_;
+  std::deque<graph::Node*> ready_;
+  int remaining_ = 0;
+  int free_workers_ = 0;
+  bool failed_ = false;
+  int failed_polls_in_row_ = 0;
+  bool delayed_kick_scheduled_ = false;
+  int64_t poll_interval_ns_ = 1'000;  // Adaptive; see CostModel.
+
+  // Allocation tracing plumbing. Wrappers are owned by the HostRuntime (they
+  // must outlive tensors); this executor only installs hooks and clears them
+  // on destruction.
+  const graph::Node* current_node_ = nullptr;
+  std::vector<tensor::TracingAllocator*> hooked_wrappers_;
+
+ public:
+  ~Executor();
+};
+
+}  // namespace runtime
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,88 @@
+// TransferMechanism: how tensors cross process boundaries.
+//
+// One mechanism instance coordinates *both ends* of every cross-device edge
+// of a distributed graph (it holds per-edge state such as preallocated
+// receive buffers and distributed remote addresses). Implementations:
+//
+//   comm::RpcTcpMechanism        — gRPC-over-TCP baseline (serialize + ring
+//                                  buffer copies over the TCP plane).
+//   comm::RpcRdmaMechanism       — gRPC-over-RDMA baseline (same RPC stack,
+//                                  verbs transport; still copies+serializes).
+//   comm::ZeroCopyRdmaMechanism  — the paper's mechanism: static placement
+//                                  (§3.2), dynamic allocation (§3.3), graph-
+//                                  analyzer integration (§3.4), optional
+//                                  sender-copy mode (RDMA.cp) and GPUDirect
+//                                  (§3.5).
+#ifndef RDMADL_SRC_RUNTIME_TRANSFER_H_
+#define RDMADL_SRC_RUNTIME_TRANSFER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/graph/partition.h"
+#include "src/runtime/host_runtime.h"
+#include "src/tensor/tensor.h"
+#include "src/util/status.h"
+
+namespace rdmadl {
+namespace runtime {
+
+class TransferMechanism {
+ public:
+  virtual ~TransferMechanism() = default;
+  virtual std::string name() const = 0;
+
+  // How _Recv nodes complete:
+  //   kAsync   — the mechanism invokes a callback when the tensor arrives
+  //              (message-based mechanisms; TF's RPC rendezvous).
+  //   kPolling — the executor re-polls TryRecv under the polling-async
+  //              scheduling of §4 (flag-byte mechanisms).
+  enum class RecvMode { kAsync, kPolling };
+  virtual RecvMode recv_mode() const = 0;
+
+  // One-time setup after partitioning and shape inference: preallocates
+  // receive-side buffers and distributes their addresses (§3.2/§3.3 setup
+  // phase, which runs over the device library's vanilla RPC and is off the
+  // critical path). |done| fires in virtual time.
+  virtual void Setup(const std::vector<graph::TransferEdge>& edges,
+                     std::function<void(Status)> done) = 0;
+
+  // Step boundary hook (step index is 0-based).
+  virtual void BeginStep(int64_t step) {}
+
+  // Executes a _Send node: ships |tensor| toward the edge's receiver.
+  // Returns the synchronous CPU nanoseconds consumed on the calling executor
+  // worker (serialization, staging copies, verb posting); the transfer itself
+  // proceeds asynchronously and |on_sent| fires when the send completes
+  // locally.
+  virtual int64_t Send(const graph::TransferEdge& edge, const tensor::Tensor& tensor,
+                       std::function<void(Status)> on_sent) = 0;
+
+  // kPolling only: one poll attempt; on success fills |out| (consuming the
+  // arrival, i.e. clearing the flag) and returns true.
+  virtual bool TryRecv(const graph::TransferEdge& edge, tensor::Tensor* out) {
+    return false;
+  }
+
+  // kAsync only: registers the one-shot arrival callback for this step.
+  virtual void RecvAsync(const graph::TransferEdge& edge,
+                         std::function<void(const Status&, tensor::Tensor)> done) {}
+
+  // ---- Graph-analyzer integration (§3.4); no-ops for RPC baselines ----
+
+  // Which allocator node |node| on |host| should allocate its output from.
+  virtual tensor::Allocator* AllocatorForNode(HostRuntime* host, const graph::Node& node,
+                                              tensor::Allocator* default_allocator) {
+    return default_allocator;
+  }
+  // Allocation-site tracing hooks, driven by the executor.
+  virtual void OnNodeBegin(HostRuntime* host, const graph::Node& node) {}
+  virtual void OnAllocation(HostRuntime* host, const graph::Node& node, const void* ptr,
+                            size_t bytes) {}
+};
+
+}  // namespace runtime
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_RUNTIME_TRANSFER_H_

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generator (splitmix64-seeded
+// xorshift128+). Every stochastic choice in the simulation draws from an Rng
+// with an explicit seed so runs are reproducible bit-for-bit.
+#ifndef RDMADL_SRC_SIM_RNG_H_
+#define RDMADL_SRC_SIM_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace rdmadl {
+namespace sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 to spread the seed across both words of state.
+    uint64_t z = seed + 0x9E3779B97f4A7C15ULL;
+    state_[0] = SplitMix(&z);
+    state_[1] = SplitMix(&z);
+    if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;
+  }
+
+  // Uniform in [0, 2^64).
+  uint64_t Next() {
+    uint64_t s1 = state_[0];
+    const uint64_t s0 = state_[1];
+    state_[0] = s0;
+    s1 ^= s1 << 23;
+    state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return state_[1] + s0;
+  }
+
+  // Uniform in [0, bound).
+  uint64_t Uniform(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) { return lo + (hi - lo) * UniformDouble(); }
+
+  // Standard normal via Box-Muller.
+  double Normal() {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+ private:
+  static uint64_t SplitMix(uint64_t* z) {
+    uint64_t r = (*z += 0x9E3779B97f4A7C15ULL);
+    r = (r ^ (r >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    r = (r ^ (r >> 27)) * 0x94D049BB133111EBULL;
+    return r ^ (r >> 31);
+  }
+
+  uint64_t state_[2];
+};
+
+}  // namespace sim
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_SIM_RNG_H_

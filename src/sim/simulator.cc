@@ -1,0 +1,69 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace rdmadl {
+namespace sim {
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; moving the callback out is safe because we
+  // pop immediately and never compare the moved-from element again.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  CHECK_GE(ev.time, now_);
+  now_ = ev.time;
+  ++events_dispatched_;
+  ev.cb();
+  return true;
+}
+
+Status Simulator::Run(uint64_t max_events) {
+  stop_requested_ = false;
+  uint64_t fired = 0;
+  while (!stop_requested_) {
+    if (fired++ >= max_events) {
+      return Status(StatusCode::kDeadlineExceeded,
+                    "simulator event cap hit; likely a polling livelock");
+    }
+    if (!Step()) break;
+  }
+  return OkStatus();
+}
+
+Status Simulator::RunUntil(int64_t deadline, uint64_t max_events) {
+  stop_requested_ = false;
+  uint64_t fired = 0;
+  while (!stop_requested_ && !queue_.empty() && queue_.top().time <= deadline) {
+    if (fired++ >= max_events) {
+      return Status(StatusCode::kDeadlineExceeded,
+                    "simulator event cap hit; likely a polling livelock");
+    }
+    Step();
+  }
+  if (now_ < deadline && queue_.empty()) {
+    now_ = deadline;  // Idle time passes even with nothing scheduled.
+  } else if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return OkStatus();
+}
+
+Status Simulator::RunUntilPredicate(const std::function<bool()>& done, uint64_t max_events) {
+  stop_requested_ = false;
+  uint64_t fired = 0;
+  while (!stop_requested_ && !done()) {
+    if (fired++ >= max_events) {
+      return Status(StatusCode::kDeadlineExceeded,
+                    "simulator event cap hit; likely a polling livelock");
+    }
+    if (!Step()) {
+      return Status(StatusCode::kFailedPrecondition,
+                    "event queue drained before predicate became true");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace sim
+}  // namespace rdmadl

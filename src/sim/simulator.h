@@ -1,0 +1,100 @@
+// Deterministic discrete-event simulation kernel.
+//
+// All components of the simulated cluster (NIC engines, TCP stacks, executor
+// worker contexts) are driven by one Simulator instance: they schedule
+// callbacks at virtual times and the kernel dispatches them in (time, seq)
+// order, so a run is fully deterministic and independent of wall-clock speed.
+//
+// Virtual time is int64 nanoseconds.
+#ifndef RDMADL_SRC_SIM_SIMULATOR_H_
+#define RDMADL_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/status.h"
+
+namespace rdmadl {
+namespace sim {
+
+// Duration helpers (all return nanoseconds).
+constexpr int64_t Nanoseconds(int64_t n) { return n; }
+constexpr int64_t Microseconds(double us) { return static_cast<int64_t>(us * 1e3); }
+constexpr int64_t Milliseconds(double ms) { return static_cast<int64_t>(ms * 1e6); }
+constexpr int64_t Seconds(double s) { return static_cast<int64_t>(s * 1e9); }
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current virtual time in nanoseconds.
+  int64_t Now() const { return now_; }
+
+  // Schedules |cb| to run at absolute virtual time |time| (>= Now()).
+  void ScheduleAt(int64_t time, Callback cb) {
+    CHECK_GE(time, now_) << "cannot schedule into the past";
+    queue_.push(Event{time, next_seq_++, std::move(cb)});
+  }
+
+  // Schedules |cb| to run |delay| nanoseconds from now.
+  void ScheduleAfter(int64_t delay, Callback cb) {
+    CHECK_GE(delay, 0);
+    ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Runs events until the queue drains, |max_events| fire, or Stop() is
+  // called. Returns kDeadlineExceeded if the event cap was hit (usually a
+  // livelock, e.g. two pollers rescheduling each other forever).
+  Status Run(uint64_t max_events = kDefaultMaxEvents);
+
+  // Runs until virtual time reaches |deadline| (events at t > deadline stay
+  // queued), the queue drains, or the event cap is hit.
+  Status RunUntil(int64_t deadline, uint64_t max_events = kDefaultMaxEvents);
+
+  // Runs until |done| returns true (checked after every event).
+  Status RunUntilPredicate(const std::function<bool()>& done,
+                           uint64_t max_events = kDefaultMaxEvents);
+
+  // Makes the current Run() call return after the in-flight event completes.
+  void Stop() { stop_requested_ = true; }
+
+  // Number of events dispatched since construction.
+  uint64_t events_dispatched() const { return events_dispatched_; }
+
+  bool empty() const { return queue_.empty(); }
+
+  static constexpr uint64_t kDefaultMaxEvents = 500'000'000;
+
+ private:
+  struct Event {
+    int64_t time;
+    uint64_t seq;  // Tie-break so equal-time events run in schedule order.
+    Callback cb;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  // Pops and dispatches one event. Returns false when the queue is empty.
+  bool Step();
+
+  int64_t now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_dispatched_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+};
+
+}  // namespace sim
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_SIM_SIMULATOR_H_

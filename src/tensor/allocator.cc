@@ -1,0 +1,49 @@
+#include "src/tensor/allocator.h"
+
+#include <cstdlib>
+#include <new>
+#include <unordered_map>
+
+#include "src/util/logging.h"
+
+namespace rdmadl {
+namespace tensor {
+
+namespace {
+// Size bookkeeping for CpuAllocator stats (aligned_alloc has no usable_size
+// portably).
+std::unordered_map<void*, size_t>& CpuSizes() {
+  static auto* sizes = new std::unordered_map<void*, size_t>();
+  return *sizes;
+}
+}  // namespace
+
+void* CpuAllocator::Allocate(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  const size_t rounded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  void* ptr = std::aligned_alloc(kAlignment, rounded);
+  if (ptr == nullptr) return nullptr;
+  CpuSizes()[ptr] = bytes;
+  ++stats_.allocations;
+  stats_.bytes_in_use += static_cast<int64_t>(bytes);
+  stats_.peak_bytes_in_use = std::max(stats_.peak_bytes_in_use, stats_.bytes_in_use);
+  return ptr;
+}
+
+void CpuAllocator::Deallocate(void* ptr) {
+  if (ptr == nullptr) return;
+  auto it = CpuSizes().find(ptr);
+  CHECK(it != CpuSizes().end()) << "Deallocate of unknown pointer";
+  ++stats_.deallocations;
+  stats_.bytes_in_use -= static_cast<int64_t>(it->second);
+  CpuSizes().erase(it);
+  std::free(ptr);
+}
+
+CpuAllocator* CpuAllocator::Get() {
+  static CpuAllocator* instance = new CpuAllocator();
+  return instance;
+}
+
+}  // namespace tensor
+}  // namespace rdmadl

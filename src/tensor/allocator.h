@@ -1,0 +1,96 @@
+// Tensor memory allocators.
+//
+// The runtime uses two allocator kinds, mirroring §3.4 of the paper:
+//   * a normal allocator (CpuAllocator) for tensors that never cross servers;
+//   * an ArenaAllocator carving tensors out of one large pre-registered
+//     RDMA-accessible region, so to-be-transferred tensors need no extra copy
+//     and no per-tensor NIC registration.
+// A TracingAllocator wrapper implements the dynamic allocation-site analysis:
+// it reports every allocation to a hook so the graph analyzer can map buffer
+// addresses to the graph node that allocated them (first training iteration),
+// then redirect those nodes' allocations to the RDMA arena afterwards.
+#ifndef RDMADL_SRC_TENSOR_ALLOCATOR_H_
+#define RDMADL_SRC_TENSOR_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rdmadl {
+namespace tensor {
+
+enum class MemorySpace { kHost, kGpu };
+
+struct AllocatorStats {
+  int64_t allocations = 0;
+  int64_t deallocations = 0;
+  int64_t bytes_in_use = 0;
+  int64_t peak_bytes_in_use = 0;
+};
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  // Returns 64-byte-aligned storage or nullptr when exhausted.
+  virtual void* Allocate(size_t bytes) = 0;
+  virtual void Deallocate(void* ptr) = 0;
+
+  virtual std::string name() const = 0;
+  virtual MemorySpace memory_space() const { return MemorySpace::kHost; }
+  virtual const AllocatorStats& stats() const = 0;
+
+  static constexpr size_t kAlignment = 64;
+};
+
+// Malloc-backed allocator for tensors that stay local.
+class CpuAllocator : public Allocator {
+ public:
+  void* Allocate(size_t bytes) override;
+  void Deallocate(void* ptr) override;
+  std::string name() const override { return "cpu"; }
+  const AllocatorStats& stats() const override { return stats_; }
+
+  // Process-wide default instance.
+  static CpuAllocator* Get();
+
+ private:
+  AllocatorStats stats_;
+};
+
+// Wraps another allocator and reports each allocation/deallocation to hooks.
+// Used by the graph executor during the first mini-batch iteration (§3.4).
+class TracingAllocator : public Allocator {
+ public:
+  using AllocHook = std::function<void(void* ptr, size_t bytes)>;
+  using FreeHook = std::function<void(void* ptr)>;
+
+  explicit TracingAllocator(Allocator* base) : base_(base) {}
+
+  void set_alloc_hook(AllocHook hook) { alloc_hook_ = std::move(hook); }
+  void set_free_hook(FreeHook hook) { free_hook_ = std::move(hook); }
+
+  void* Allocate(size_t bytes) override {
+    void* ptr = base_->Allocate(bytes);
+    if (ptr != nullptr && alloc_hook_) alloc_hook_(ptr, bytes);
+    return ptr;
+  }
+  void Deallocate(void* ptr) override {
+    if (ptr != nullptr && free_hook_) free_hook_(ptr);
+    base_->Deallocate(ptr);
+  }
+  std::string name() const override { return "tracing(" + base_->name() + ")"; }
+  MemorySpace memory_space() const override { return base_->memory_space(); }
+  const AllocatorStats& stats() const override { return base_->stats(); }
+
+ private:
+  Allocator* base_;
+  AllocHook alloc_hook_;
+  FreeHook free_hook_;
+};
+
+}  // namespace tensor
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_TENSOR_ALLOCATOR_H_

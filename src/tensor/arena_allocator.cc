@@ -1,0 +1,97 @@
+#include "src/tensor/arena_allocator.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace rdmadl {
+namespace tensor {
+
+ArenaAllocator::ArenaAllocator(void* base, size_t size, std::string name, MemorySpace space)
+    : name_(std::move(name)), space_(space), base_(reinterpret_cast<uintptr_t>(base)),
+      size_(size) {
+  CHECK(base != nullptr);
+  CHECK_GT(size, 0u);
+  InsertFree(0, size);
+}
+
+void ArenaAllocator::InsertFree(uint64_t offset, size_t size) {
+  free_by_offset_[offset] = size;
+  free_by_size_.emplace(size, offset);
+}
+
+void ArenaAllocator::EraseFree(uint64_t offset, size_t size) {
+  free_by_offset_.erase(offset);
+  auto range = free_by_size_.equal_range(size);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == offset) {
+      free_by_size_.erase(it);
+      return;
+    }
+  }
+  LOG(FATAL) << "arena free-index corruption at offset " << offset;
+}
+
+void* ArenaAllocator::Allocate(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  const size_t rounded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  // Best fit: smallest free block that holds the request.
+  auto it = free_by_size_.lower_bound(rounded);
+  if (it == free_by_size_.end()) return nullptr;
+  const size_t block_size = it->first;
+  const uint64_t offset = it->second;
+  EraseFree(offset, block_size);
+  if (block_size > rounded) {
+    InsertFree(offset + rounded, block_size - rounded);
+  }
+  live_[offset] = rounded;
+  ++stats_.allocations;
+  stats_.bytes_in_use += static_cast<int64_t>(rounded);
+  stats_.peak_bytes_in_use = std::max(stats_.peak_bytes_in_use, stats_.bytes_in_use);
+  return reinterpret_cast<void*>(base_ + offset);
+}
+
+void ArenaAllocator::Deallocate(void* ptr) {
+  if (ptr == nullptr) return;
+  CHECK(Contains(ptr)) << "Deallocate of pointer outside arena " << name_;
+  const uint64_t offset = reinterpret_cast<uintptr_t>(ptr) - base_;
+  auto it = live_.find(offset);
+  CHECK(it != live_.end()) << "double free or bad pointer in arena " << name_;
+  size_t size = it->second;
+  live_.erase(it);
+  ++stats_.deallocations;
+  stats_.bytes_in_use -= static_cast<int64_t>(size);
+
+  uint64_t merged_offset = offset;
+  size_t merged_size = size;
+  // Coalesce with the following free block.
+  auto next = free_by_offset_.find(offset + size);
+  if (next != free_by_offset_.end()) {
+    merged_size += next->second;
+    EraseFree(next->first, next->second);
+  }
+  // Coalesce with the preceding free block.
+  auto prev = free_by_offset_.lower_bound(offset);
+  if (prev != free_by_offset_.begin()) {
+    --prev;
+    if (prev->first + prev->second == offset) {
+      merged_offset = prev->first;
+      merged_size += prev->second;
+      EraseFree(prev->first, prev->second);
+    }
+  }
+  InsertFree(merged_offset, merged_size);
+}
+
+uint64_t ArenaAllocator::OffsetOf(const void* ptr) const {
+  CHECK(Contains(ptr));
+  return reinterpret_cast<uintptr_t>(ptr) - base_;
+}
+
+size_t ArenaAllocator::largest_free_block() const {
+  if (free_by_size_.empty()) return 0;
+  return free_by_size_.rbegin()->first;
+}
+
+}  // namespace tensor
+}  // namespace rdmadl

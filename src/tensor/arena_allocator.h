@@ -1,0 +1,68 @@
+// ArenaAllocator: a best-fit allocator with block coalescing over one
+// contiguous byte range.
+//
+// The range is typically a single large RDMA memory region registered once
+// with the NIC (§3.4: "preallocate a large enough memory buffer to register
+// once to RDMA NIC... a memory allocator is used to manage the preallocated
+// memory"). The arena itself is substrate-agnostic; the comm layer binds it
+// to a registered MemRegion and can translate any pointer inside it into an
+// (addr, rkey) pair for one-sided verbs.
+#ifndef RDMADL_SRC_TENSOR_ARENA_ALLOCATOR_H_
+#define RDMADL_SRC_TENSOR_ARENA_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/tensor/allocator.h"
+
+namespace rdmadl {
+namespace tensor {
+
+class ArenaAllocator : public Allocator {
+ public:
+  // Manages [base, base + size). Does not own the storage.
+  ArenaAllocator(void* base, size_t size, std::string name,
+                 MemorySpace space = MemorySpace::kHost);
+
+  void* Allocate(size_t bytes) override;
+  void Deallocate(void* ptr) override;
+  std::string name() const override { return name_; }
+  MemorySpace memory_space() const override { return space_; }
+  const AllocatorStats& stats() const override { return stats_; }
+
+  bool Contains(const void* ptr) const {
+    auto p = reinterpret_cast<uintptr_t>(ptr);
+    return p >= base_ && p < base_ + size_;
+  }
+  // Offset of |ptr| from the arena base (for rkey-relative addressing).
+  uint64_t OffsetOf(const void* ptr) const;
+
+  void* base() const { return reinterpret_cast<void*>(base_); }
+  size_t size() const { return size_; }
+  size_t largest_free_block() const;
+
+ private:
+  struct Block {
+    size_t size = 0;
+  };
+
+  std::string name_;
+  MemorySpace space_;
+  uintptr_t base_;
+  size_t size_;
+  AllocatorStats stats_;
+  // Free blocks by offset (for coalescing) and a size index (for best-fit).
+  std::map<uint64_t, size_t> free_by_offset_;
+  std::multimap<size_t, uint64_t> free_by_size_;
+  // Live allocations: offset -> requested bytes (rounded).
+  std::map<uint64_t, size_t> live_;
+
+  void InsertFree(uint64_t offset, size_t size);
+  void EraseFree(uint64_t offset, size_t size);
+};
+
+}  // namespace tensor
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_TENSOR_ARENA_ALLOCATOR_H_

@@ -1,0 +1,43 @@
+#include "src/tensor/dtype.h"
+
+namespace rdmadl {
+namespace tensor {
+
+size_t DTypeSize(DType dtype) {
+  switch (dtype) {
+    case DType::kInvalid:
+      return 0;
+    case DType::kFloat32:
+      return 4;
+    case DType::kFloat64:
+      return 8;
+    case DType::kInt32:
+      return 4;
+    case DType::kInt64:
+      return 8;
+    case DType::kUInt8:
+      return 1;
+  }
+  return 0;
+}
+
+const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kInvalid:
+      return "invalid";
+    case DType::kFloat32:
+      return "float32";
+    case DType::kFloat64:
+      return "float64";
+    case DType::kInt32:
+      return "int32";
+    case DType::kInt64:
+      return "int64";
+    case DType::kUInt8:
+      return "uint8";
+  }
+  return "?";
+}
+
+}  // namespace tensor
+}  // namespace rdmadl

@@ -1,0 +1,51 @@
+// Tensor element types. Deep learning tensors are plain byte arrays plus a
+// small schema (shape + element type) — §2.1 of the paper.
+#ifndef RDMADL_SRC_TENSOR_DTYPE_H_
+#define RDMADL_SRC_TENSOR_DTYPE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rdmadl {
+namespace tensor {
+
+enum class DType : uint8_t {
+  kInvalid = 0,
+  kFloat32 = 1,
+  kFloat64 = 2,
+  kInt32 = 3,
+  kInt64 = 4,
+  kUInt8 = 5,
+};
+
+size_t DTypeSize(DType dtype);
+const char* DTypeName(DType dtype);
+
+// Maps C++ types to DType tags for typed accessors.
+template <typename T>
+struct DTypeOf;
+template <>
+struct DTypeOf<float> {
+  static constexpr DType value = DType::kFloat32;
+};
+template <>
+struct DTypeOf<double> {
+  static constexpr DType value = DType::kFloat64;
+};
+template <>
+struct DTypeOf<int32_t> {
+  static constexpr DType value = DType::kInt32;
+};
+template <>
+struct DTypeOf<int64_t> {
+  static constexpr DType value = DType::kInt64;
+};
+template <>
+struct DTypeOf<uint8_t> {
+  static constexpr DType value = DType::kUInt8;
+};
+
+}  // namespace tensor
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_TENSOR_DTYPE_H_

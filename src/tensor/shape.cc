@@ -1,0 +1,24 @@
+#include "src/tensor/shape.h"
+
+#include <sstream>
+
+namespace rdmadl {
+namespace tensor {
+
+std::string TensorShape::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (int i = 0; i < num_dims(); ++i) {
+    if (i > 0) os << ",";
+    if (dims_[i] == kUnknownDim) {
+      os << "?";
+    } else {
+      os << dims_[i];
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace tensor
+}  // namespace rdmadl

@@ -1,0 +1,88 @@
+// TensorShape: a list of dimension sizes. A dimension of -1 means "unknown
+// until runtime" — the static shape-inference pass (§3.4) distinguishes fully
+// defined shapes (transfer with static placement, §3.2) from partially
+// defined ones (transfer with dynamic allocation, §3.3).
+#ifndef RDMADL_SRC_TENSOR_SHAPE_H_
+#define RDMADL_SRC_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace rdmadl {
+namespace tensor {
+
+inline constexpr int64_t kUnknownDim = -1;
+
+class TensorShape {
+ public:
+  TensorShape() = default;
+  TensorShape(std::initializer_list<int64_t> dims) : dims_(dims) { Validate(); }
+  explicit TensorShape(std::vector<int64_t> dims) : dims_(std::move(dims)) { Validate(); }
+
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, num_dims());
+    return dims_[i];
+  }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  void set_dim(int i, int64_t value) {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, num_dims());
+    CHECK(value >= 0 || value == kUnknownDim);
+    dims_[i] = value;
+  }
+  void add_dim(int64_t value) {
+    CHECK(value >= 0 || value == kUnknownDim);
+    dims_.push_back(value);
+  }
+
+  // True when every dimension is known (>= 0). Scalars (rank 0) are defined.
+  bool IsFullyDefined() const {
+    for (int64_t d : dims_) {
+      if (d < 0) return false;
+    }
+    return true;
+  }
+
+  // Element count; requires IsFullyDefined().
+  int64_t num_elements() const {
+    CHECK(IsFullyDefined()) << "num_elements() on partially-unknown shape " << ToString();
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  // Same rank and each dimension equal or at least one side unknown.
+  bool IsCompatibleWith(const TensorShape& other) const {
+    if (num_dims() != other.num_dims()) return false;
+    for (int i = 0; i < num_dims(); ++i) {
+      if (dims_[i] >= 0 && other.dims_[i] >= 0 && dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const TensorShape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const TensorShape& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  void Validate() {
+    for (int64_t d : dims_) {
+      CHECK(d >= 0 || d == kUnknownDim) << "bad dimension " << d;
+    }
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace tensor
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_TENSOR_SHAPE_H_

@@ -1,0 +1,19 @@
+#include "src/tensor/tensor.h"
+
+#include <sstream>
+
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace tensor {
+
+std::string Tensor::DebugString() const {
+  if (!valid()) return "Tensor<invalid>";
+  std::ostringstream os;
+  os << "Tensor<" << DTypeName(dtype_) << shape_.ToString() << ", "
+     << HumanBytes(TotalBytes()) << ">";
+  return os.str();
+}
+
+}  // namespace tensor
+}  // namespace rdmadl

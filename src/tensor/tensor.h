@@ -1,0 +1,133 @@
+// Tensor: dtype + shape + reference-counted buffer.
+//
+// The buffer may be larger than the tensor needs: receiver-side tensors of
+// the zero-copy protocol reserve one extra tail byte for the completion flag
+// (§3.2), and dynamically transferred tensors park their metadata block in
+// front. Copying a Tensor shares the buffer (aliasing semantics, like
+// TensorFlow).
+#ifndef RDMADL_SRC_TENSOR_TENSOR_H_
+#define RDMADL_SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/tensor/allocator.h"
+#include "src/tensor/dtype.h"
+#include "src/tensor/shape.h"
+#include "src/util/logging.h"
+
+namespace rdmadl {
+namespace tensor {
+
+// Reference-counted storage. Deallocates through its allocator when the last
+// reference drops.
+class Buffer {
+ public:
+  Buffer(Allocator* allocator, size_t size)
+      : allocator_(allocator), size_(size), data_(allocator->Allocate(size)) {}
+  // Wraps storage owned elsewhere (allocator == nullptr -> no deallocation).
+  Buffer(void* data, size_t size) : allocator_(nullptr), size_(size), data_(data) {}
+  ~Buffer() {
+    if (allocator_ != nullptr && data_ != nullptr) allocator_->Deallocate(data_);
+  }
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  void* data() const { return data_; }
+  size_t size() const { return size_; }
+  Allocator* allocator() const { return allocator_; }
+  bool valid() const { return data_ != nullptr; }
+  MemorySpace memory_space() const {
+    return allocator_ != nullptr ? allocator_->memory_space() : MemorySpace::kHost;
+  }
+
+ private:
+  Allocator* allocator_;
+  size_t size_;
+  void* data_;
+};
+
+class Tensor {
+ public:
+  // Empty (invalid) tensor.
+  Tensor() = default;
+
+  // Allocates storage for |shape| (must be fully defined) from |allocator|.
+  Tensor(Allocator* allocator, DType dtype, const TensorShape& shape)
+      : dtype_(dtype), shape_(shape) {
+    CHECK(shape.IsFullyDefined()) << "allocating tensor with unknown shape";
+    buffer_ = std::make_shared<Buffer>(allocator, TotalBytes());
+    CHECK(buffer_->valid()) << "allocation of " << TotalBytes() << " bytes failed from "
+                            << allocator->name();
+  }
+
+  // Wraps an existing buffer; |buffer|->size() must cover the tensor bytes.
+  Tensor(std::shared_ptr<Buffer> buffer, DType dtype, const TensorShape& shape)
+      : dtype_(dtype), shape_(shape), buffer_(std::move(buffer)) {
+    CHECK(shape.IsFullyDefined());
+    CHECK_GE(buffer_->size(), TotalBytes());
+  }
+
+  bool valid() const { return buffer_ != nullptr; }
+  DType dtype() const { return dtype_; }
+  const TensorShape& shape() const { return shape_; }
+  int64_t num_elements() const { return shape_.num_elements(); }
+  size_t TotalBytes() const {
+    return static_cast<size_t>(shape_.num_elements()) * DTypeSize(dtype_);
+  }
+
+  void* raw_data() const {
+    CHECK(valid());
+    return buffer_->data();
+  }
+  const std::shared_ptr<Buffer>& buffer() const { return buffer_; }
+  MemorySpace memory_space() const {
+    return buffer_ != nullptr ? buffer_->memory_space() : MemorySpace::kHost;
+  }
+
+  template <typename T>
+  T* data() const {
+    CHECK(DTypeOf<T>::value == dtype_)
+        << "type mismatch: tensor is " << DTypeName(dtype_);
+    return static_cast<T*>(raw_data());
+  }
+
+  // Flat element accessors (host memory only).
+  template <typename T>
+  T& at(int64_t i) const {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, num_elements());
+    return data<T>()[i];
+  }
+
+  // Deep copy into freshly allocated storage.
+  Tensor Clone(Allocator* allocator) const {
+    Tensor out(allocator, dtype_, shape_);
+    std::memcpy(out.raw_data(), raw_data(), TotalBytes());
+    return out;
+  }
+
+  // Reinterprets the same storage under a new fully-defined shape with the
+  // same element count.
+  Tensor Reshaped(const TensorShape& new_shape) const {
+    CHECK(new_shape.IsFullyDefined());
+    CHECK_EQ(new_shape.num_elements(), num_elements());
+    Tensor out = *this;
+    out.shape_ = new_shape;
+    return out;
+  }
+
+  std::string DebugString() const;
+
+ private:
+  DType dtype_ = DType::kInvalid;
+  TensorShape shape_;
+  std::shared_ptr<Buffer> buffer_;
+};
+
+}  // namespace tensor
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,73 @@
+#include "src/train/convergence.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace rdmadl {
+namespace train {
+
+double ConvergenceProfile::n0() const {
+  // Solve (1 + N/n0)^(-alpha) = (target - floor) / (initial - floor) for n0.
+  const double ratio = (target - floor) / (initial - floor);
+  CHECK_GT(ratio, 0.0);
+  CHECK_LT(ratio, 1.0);
+  const double factor = std::pow(ratio, -1.0 / alpha) - 1.0;
+  return samples_to_target / factor;
+}
+
+double ConvergenceProfile::MetricAt(double samples) const {
+  return floor + (initial - floor) * std::pow(1.0 + samples / n0(), -alpha);
+}
+
+namespace {
+
+ConvergenceProfile Anchored(const char* metric, double initial, double floor, double target,
+                            double paper_tcp_minutes, double tcp_samples_per_minute) {
+  ConvergenceProfile profile;
+  profile.metric_name = metric;
+  profile.initial = initial;
+  profile.floor = floor;
+  profile.target = target;
+  profile.samples_to_target = paper_tcp_minutes * tcp_samples_per_minute;
+  return profile;
+}
+
+}  // namespace
+
+ConvergenceProfile Seq2SeqConvergence(double tcp_samples_per_minute) {
+  // Paper: "about 220 minutes to converge to perplexity under 20 with
+  // gRPC.TCP".
+  return Anchored("perplexity", 400.0, 8.0, 20.0, 220.0, tcp_samples_per_minute);
+}
+
+ConvergenceProfile CifarConvergence(double tcp_samples_per_minute) {
+  // Paper reports a 2.6x speedup over gRPC.TCP; the absolute gRPC.TCP time in
+  // Figure 10(b) is ~50 minutes to loss ~0.8.
+  return Anchored("loss", 2.3, 0.3, 0.8, 50.0, tcp_samples_per_minute);
+}
+
+ConvergenceProfile SeConvergence(double tcp_samples_per_minute) {
+  // Paper: "the SE model can converge to loss value of 4.5 within 185
+  // minutes" with gRPC.TCP.
+  return Anchored("loss", 9.0, 3.0, 4.5, 185.0, tcp_samples_per_minute);
+}
+
+std::vector<ConvergencePoint> SimulateCurve(const ConvergenceProfile& profile,
+                                            double samples_per_minute, int points) {
+  const double total_minutes = MinutesToTarget(profile, samples_per_minute);
+  std::vector<ConvergencePoint> curve;
+  curve.reserve(points + 1);
+  for (int i = 0; i <= points; ++i) {
+    const double minutes = total_minutes * i / points;
+    curve.push_back({minutes, profile.MetricAt(minutes * samples_per_minute)});
+  }
+  return curve;
+}
+
+double MinutesToTarget(const ConvergenceProfile& profile, double samples_per_minute) {
+  return profile.samples_to_target / samples_per_minute;
+}
+
+}  // namespace train
+}  // namespace rdmadl

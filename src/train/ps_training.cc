@@ -1,0 +1,284 @@
+#include "src/train/ps_training.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace train {
+
+using graph::Graph;
+using graph::Node;
+using models::LayerSpec;
+using models::ModelSpec;
+using models::VariableSpec;
+using tensor::TensorShape;
+
+const char* MechanismName(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kGrpcTcp:
+      return "gRPC.TCP";
+    case MechanismKind::kGrpcRdma:
+      return "gRPC.RDMA";
+    case MechanismKind::kRdmaCp:
+      return "RDMA.cp";
+    case MechanismKind::kRdmaZeroCopy:
+      return "RDMA.zerocp";
+  }
+  return "?";
+}
+
+namespace {
+
+// Per-sample forward/backward time split: the backward pass costs roughly
+// twice the forward pass.
+constexpr double kForwardFraction = 1.0 / 3.0;
+
+// SGD-apply throughput (bytes/sec) used to annotate ApplySgd cost: on a
+// parameter server the update is host-DRAM-bound (multi-threaded); in local
+// mode it runs on the GPU at HBM rates and is nearly free.
+constexpr double kPsApplyBytesPerSec = 20.0e9;
+constexpr double kGpuApplyBytesPerSec = 300.0e9;
+
+}  // namespace
+
+// Variables larger than this are partitioned across parameter servers, as
+// TensorFlow deployments of the era did with min_max_variable_partitioner:
+// without it, a 400 MB fc layer turns one PS into the cluster hotspot.
+constexpr uint64_t kMaxVariableShardBytes = 128ull << 20;
+
+Status BuildDataParallelGraph(const ModelSpec& model, int num_workers, int num_ps,
+                              int batch_size, bool local_only, Graph* graph) {
+  if (num_workers < 1 || num_ps < 1 || batch_size < 1) {
+    return InvalidArgument("workers, ps and batch size must be positive");
+  }
+  const double per_sample_ns = model.per_sample_time_ms * 1e6;
+
+  // Variables, sharded round-robin across parameter servers (§5: "variable
+  // tensors ... are placed in parameter servers in a round-robin fashion"),
+  // with oversized variables partitioned into <= 64 MB slices.
+  struct VarNode {
+    Node* node;
+    std::string device;
+  };
+  std::vector<std::vector<VarNode>> layer_vars(model.layers.size());
+  int var_index = 0;
+  for (size_t l = 0; l < model.layers.size(); ++l) {
+    for (const VariableSpec& var : model.layers[l].vars) {
+      const uint64_t total_elements = var.shape.num_elements();
+      const int num_shards =
+          !var.shardable
+              ? 1
+              : static_cast<int>(std::min<uint64_t>(
+                    (var.bytes() + kMaxVariableShardBytes - 1) / kMaxVariableShardBytes,
+                    std::max<uint64_t>(local_only ? 1 : num_ps, 1)));
+      const uint64_t base = total_elements / num_shards;
+      uint64_t assigned = 0;
+      for (int shard = 0; shard < num_shards; ++shard) {
+        const uint64_t elements =
+            (shard == num_shards - 1) ? total_elements - assigned : base;
+        assigned += elements;
+        const std::string shard_name =
+            num_shards == 1 ? var.name : StrCat(var.name, "/part_", shard);
+        const std::string device =
+            local_only ? "worker:0" : StrCat("ps:", var_index % num_ps);
+        RDMADL_ASSIGN_OR_RETURN(
+            Node * node, graph->AddNode(shard_name, "Variable", std::vector<Node*>{}));
+        node->SetAttr("shape", TensorShape{static_cast<int64_t>(elements)});
+        node->SetAttr("init", std::string("zeros"));
+        node->set_device(device);
+        layer_vars[l].push_back(VarNode{node, device});
+        ++var_index;
+      }
+    }
+  }
+
+  const int replicas = local_only ? 1 : num_workers;
+  for (int w = 0; w < replicas; ++w) {
+    const std::string dev = StrCat("worker:", w);
+    auto name = [&](const std::string& suffix) { return StrCat("w", w, "/", suffix); };
+
+    // Synthetic input (generated on the fly, §5.2 — no disk loading).
+    RDMADL_ASSIGN_OR_RETURN(Node * input,
+                            graph->AddNode(name("input"), "SimOp", std::vector<Node*>{}));
+    input->SetAttr("shape", TensorShape{batch_size, model.input_dim});
+    input->set_device(dev);
+
+    // Forward chain. For recurrent models the very first unrolled time step
+    // already touches every gate's weights, so forward compute cannot begin
+    // until all recurrent weights have arrived (the softmax layer is outside
+    // the recurrence).
+    std::vector<Node*> activations;
+    Node* prev = input;
+    for (size_t l = 0; l < model.layers.size(); ++l) {
+      const LayerSpec& layer = model.layers[l];
+      std::vector<Node*> inputs{prev};
+      for (const VarNode& var : layer_vars[l]) inputs.push_back(var.node);
+      if (model.recurrent && l == 0) {
+        for (size_t other = 1; other + 1 < model.layers.size(); ++other) {
+          for (const VarNode& var : layer_vars[other]) inputs.push_back(var.node);
+        }
+      }
+      RDMADL_ASSIGN_OR_RETURN(
+          Node * fwd, graph->AddNode(name(StrCat("fwd/", layer.name)), "SimOp", inputs));
+      fwd->SetAttr("shape", TensorShape{batch_size, layer.activation_dim});
+      fwd->SetAttr("cost_ns", per_sample_ns * layer.cost_share * kForwardFraction);
+      fwd->set_device(dev);
+      activations.push_back(fwd);
+      prev = fwd;
+    }
+
+    // Loss gradient seed.
+    RDMADL_ASSIGN_OR_RETURN(Node * d_top, graph->AddNode(name("bwd/top"), "SimOp",
+                                                         std::vector<Node*>{prev}));
+    d_top->SetAttr("shape", TensorShape{batch_size, model.layers.back().activation_dim});
+    d_top->set_device(dev);
+
+    // Backward chain: one gradient tensor per variable, plus the activation
+    // gradient flowing to the previous layer. For recurrent models every
+    // gradient accumulates over all unrolled time steps (BPTT), so grad
+    // tensors only materialize once the whole backward chain has finished —
+    // gradient sends then cannot overlap backward compute, matching real RNN
+    // training. For feed-forward models gradients stream out layer by layer.
+    Node* d_act = d_top;
+    Node* bwd_tail = nullptr;
+    std::vector<std::pair<Node*, const VarNode*>> deferred_grads;
+    for (int l = static_cast<int>(model.layers.size()) - 1; l >= 0; --l) {
+      const LayerSpec& layer = model.layers[l];
+      Node* below = (l > 0) ? activations[l - 1] : input;
+      const double layer_bwd_ns =
+          per_sample_ns * layer.cost_share * (1.0 - kForwardFraction);
+      const double per_grad_ns = layer_bwd_ns / (layer_vars[l].size() + 1);
+
+      for (size_t v = 0; v < layer_vars[l].size(); ++v) {
+        const VarNode& var = layer_vars[l][v];
+        std::vector<Node*> grad_inputs{d_act, below};
+        RDMADL_ASSIGN_OR_RETURN(
+            Node * grad,
+            graph->AddNode(name(StrCat("grad/", var.node->name())), "SimOp",
+                           grad_inputs));
+        if (model.recurrent) deferred_grads.emplace_back(grad, &var);
+        grad->SetAttr("shape", var.node->GetAttr<TensorShape>("shape"));
+        grad->SetAttr("cost_ns", per_grad_ns);
+        grad->set_device(dev);
+
+        // The owning PS applies this worker's gradient in place.
+        RDMADL_ASSIGN_OR_RETURN(
+            Node * apply,
+            graph->AddNode(name(StrCat("apply/", var.node->name())), "ApplySgd",
+                           std::vector<Node*>{var.node, grad}));
+        apply->SetAttr("learning_rate", 0.01);
+        apply->SetAttr("cost_ns",
+                       static_cast<double>(var.node->GetAttr<TensorShape>("shape")
+                                               .num_elements()) *
+                           4.0 /
+                           (local_only ? kGpuApplyBytesPerSec : kPsApplyBytesPerSec) * 1e9);
+        apply->set_device(var.device);
+      }
+      if (l > 0) {
+        std::vector<Node*> dx_inputs{d_act};
+        for (const VarNode& var : layer_vars[l]) dx_inputs.push_back(var.node);
+        RDMADL_ASSIGN_OR_RETURN(
+            Node * dx, graph->AddNode(name(StrCat("bwd/", layer.name)), "SimOp", dx_inputs));
+        dx->SetAttr("shape",
+                    TensorShape{batch_size, model.layers[l - 1].activation_dim});
+        dx->SetAttr("cost_ns", per_grad_ns);
+        dx->set_device(dev);
+        d_act = dx;
+        bwd_tail = dx;
+      }
+    }
+    if (model.recurrent && bwd_tail != nullptr) {
+      for (auto& [grad, var] : deferred_grads) {
+        RDMADL_RETURN_IF_ERROR(graph->AddControlEdge(bwd_tail, grad));
+      }
+    }
+  }
+  return OkStatus();
+}
+
+TrainingDriver::TrainingDriver(TrainingConfig config) : config_(std::move(config)) {}
+TrainingDriver::~TrainingDriver() = default;
+
+Status TrainingDriver::Initialize(int warmup_steps) {
+  runtime::ClusterOptions cluster_options;
+  cluster_options.num_machines = config_.num_machines;
+  cluster_options.cost = config_.cost;
+  cluster_options.mode = ops::ComputeMode::kSimulated;
+  cluster_options.process_defaults.rdma_arena_bytes = 96ull << 30;  // Virtual.
+  cluster_options.process_defaults.num_worker_contexts = config_.executor_workers;
+  cluster_options.process_defaults.num_cqs = config_.num_cqs;
+  cluster_options.process_defaults.num_qps_per_peer = config_.num_qps_per_peer;
+  cluster_options.worker_tensors_on_gpu = config_.tensors_on_gpu;
+  cluster_options.worker_gpudirect = config_.gpudirect;
+  cluster_ = std::make_unique<runtime::Cluster>(cluster_options);
+
+  for (int m = 0; m < config_.num_machines; ++m) {
+    RDMADL_RETURN_IF_ERROR(cluster_->AddProcess(StrCat("worker:", m), m).status());
+    if (!config_.local_only) {
+      RDMADL_RETURN_IF_ERROR(cluster_->AddProcess(StrCat("ps:", m), m).status());
+    }
+  }
+
+  graph_ = std::make_unique<Graph>();
+  RDMADL_RETURN_IF_ERROR(BuildDataParallelGraph(config_.model, config_.num_machines,
+                                                config_.num_machines, config_.batch_size,
+                                                config_.local_only, graph_.get()));
+
+  switch (config_.mechanism) {
+    case MechanismKind::kGrpcTcp:
+      rpc_ = std::make_unique<comm::RpcMechanism>(cluster_.get(), net::Plane::kTcp);
+      mechanism_ = rpc_.get();
+      break;
+    case MechanismKind::kGrpcRdma:
+      rpc_ = std::make_unique<comm::RpcMechanism>(cluster_.get(), net::Plane::kRdma);
+      mechanism_ = rpc_.get();
+      break;
+    case MechanismKind::kRdmaCp: {
+      comm::ZeroCopyOptions options;
+      options.graph_analysis = false;
+      options.force_dynamic = config_.force_dynamic;
+      zerocopy_ = std::make_unique<comm::ZeroCopyRdmaMechanism>(cluster_.get(), options);
+      mechanism_ = zerocopy_.get();
+      break;
+    }
+    case MechanismKind::kRdmaZeroCopy: {
+      comm::ZeroCopyOptions options;
+      options.force_dynamic = config_.force_dynamic;
+      zerocopy_ = std::make_unique<comm::ZeroCopyRdmaMechanism>(cluster_.get(), options);
+      mechanism_ = zerocopy_.get();
+      break;
+    }
+  }
+
+  runtime::SessionOptions session_options;
+  session_options.executor.num_workers = config_.executor_workers;
+  session_options.executor.batch_multiplier = std::max(
+      1.0, static_cast<double>(config_.batch_size) / config_.model.saturation_batch);
+  session_ = std::make_unique<runtime::DistributedSession>(cluster_.get(), mechanism_,
+                                                           graph_.get(), session_options);
+  RDMADL_RETURN_IF_ERROR(session_->Setup());
+  for (int i = 0; i < warmup_steps; ++i) {
+    RDMADL_RETURN_IF_ERROR(session_->RunStep());
+  }
+  return OkStatus();
+}
+
+StatusOr<double> TrainingDriver::MeasureStepTimeMs(int steps) {
+  CHECK_GT(steps, 0);
+  const int64_t start = cluster_->simulator()->Now();
+  for (int i = 0; i < steps; ++i) {
+    RDMADL_RETURN_IF_ERROR(session_->RunStep());
+  }
+  const int64_t elapsed = cluster_->simulator()->Now() - start;
+  return static_cast<double>(elapsed) / steps / 1e6;
+}
+
+StatusOr<double> TrainingDriver::MeasureThroughput(int steps) {
+  RDMADL_ASSIGN_OR_RETURN(double ms, MeasureStepTimeMs(steps));
+  return 1000.0 / ms;  // Mini-batches per second (per worker, synchronized).
+}
+
+}  // namespace train
+}  // namespace rdmadl

@@ -1,0 +1,95 @@
+// Data-parallel parameter-server training (Figure 3 of the paper).
+//
+// BuildDataParallelGraph replicates a model's data-flow graph onto N workers
+// and shards its variables round-robin across N parameter servers. Each
+// worker's replica is: synthetic input -> forward chain -> backward chain
+// producing one gradient tensor per variable; gradients flow to the owning PS
+// which applies SGD in place. Weights flow PS -> worker at the start of every
+// step; gradients flow worker -> PS — each worker moves 2x the model size per
+// mini-batch, exactly the communication pattern the paper evaluates.
+//
+// TrainingDriver wires a full benchmark run: simulated cluster (one worker
+// process + one PS process per machine, as in §5), transfer mechanism,
+// distributed session, and virtual-time step measurement.
+#ifndef RDMADL_SRC_TRAIN_PS_TRAINING_H_
+#define RDMADL_SRC_TRAIN_PS_TRAINING_H_
+
+#include <memory>
+#include <string>
+
+#include "src/comm/rpc_mechanism.h"
+#include "src/comm/zerocopy_mechanism.h"
+#include "src/models/model_spec.h"
+#include "src/runtime/session.h"
+
+namespace rdmadl {
+namespace train {
+
+enum class MechanismKind {
+  kGrpcTcp,       // gRPC over TCP (TF default).
+  kGrpcRdma,      // gRPC abstraction over verbs (TF r1.0+ RDMA path).
+  kRdmaCp,        // One-sided RDMA with sender staging copy (analysis off).
+  kRdmaZeroCopy,  // The paper's mechanism (§3).
+};
+
+const char* MechanismName(MechanismKind kind);
+
+struct TrainingConfig {
+  models::ModelSpec model;
+  int num_machines = 8;  // Each runs one worker + one PS process (§5).
+  int batch_size = 32;   // Per-worker mini-batch.
+  MechanismKind mechanism = MechanismKind::kRdmaZeroCopy;
+  // Local mode: the whole graph on one worker, no PS, no communication (the
+  // "Local" line of Figure 11).
+  bool local_only = false;
+  // GPUDirect study (§3.5 / Table 3): keep worker tensors in GPU memory.
+  bool tensors_on_gpu = false;
+  bool gpudirect = false;
+  // Force the §3.3 dynamic protocol (ablation).
+  bool force_dynamic = false;
+  net::CostModel cost;
+  int executor_workers = 4;
+  int num_cqs = 4;           // §5: "4 CQs per device and 4 QPs per connection".
+  int num_qps_per_peer = 4;
+};
+
+// Builds the placed graph. |graph| must be empty.
+Status BuildDataParallelGraph(const models::ModelSpec& model, int num_workers, int num_ps,
+                              int batch_size, bool local_only, graph::Graph* graph);
+
+class TrainingDriver {
+ public:
+  explicit TrainingDriver(TrainingConfig config);
+  ~TrainingDriver();
+
+  // Builds the cluster, graph and session; runs mechanism setup and warm-up
+  // steps (step 0 is the zero-copy mechanism's allocation-tracing step).
+  Status Initialize(int warmup_steps = 2);
+
+  // Runs |steps| steps and returns the mean virtual step time in ms.
+  StatusOr<double> MeasureStepTimeMs(int steps);
+
+  // Aggregate throughput in mini-batches per second (per worker step rate).
+  StatusOr<double> MeasureThroughput(int steps);
+
+  runtime::Cluster* cluster() { return cluster_.get(); }
+  runtime::DistributedSession* session() { return session_.get(); }
+  const TrainingConfig& config() const { return config_; }
+  // Non-null when the mechanism is one of the RDMA zero-copy family.
+  const comm::ZeroCopyRdmaMechanism* zerocopy_mechanism() const { return zerocopy_.get(); }
+  const comm::RpcMechanism* rpc_mechanism() const { return rpc_.get(); }
+
+ private:
+  TrainingConfig config_;
+  std::unique_ptr<runtime::Cluster> cluster_;
+  std::unique_ptr<graph::Graph> graph_;
+  std::unique_ptr<comm::ZeroCopyRdmaMechanism> zerocopy_;
+  std::unique_ptr<comm::RpcMechanism> rpc_;
+  runtime::TransferMechanism* mechanism_ = nullptr;
+  std::unique_ptr<runtime::DistributedSession> session_;
+};
+
+}  // namespace train
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_TRAIN_PS_TRAINING_H_

@@ -1,0 +1,37 @@
+// Endpoint: (host, port) address of a simulated server process, used both by
+// the RDMA device library (Table 1 of the paper) and the RPC baselines.
+#ifndef RDMADL_SRC_UTIL_ENDPOINT_H_
+#define RDMADL_SRC_UTIL_ENDPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/util/strings.h"
+
+namespace rdmadl {
+
+struct Endpoint {
+  int32_t host_id = -1;  // Index of the simulated host ("IP address").
+  uint16_t port = 0;     // Process port on that host.
+
+  bool operator==(const Endpoint& other) const {
+    return host_id == other.host_id && port == other.port;
+  }
+  bool operator!=(const Endpoint& other) const { return !(*this == other); }
+  bool operator<(const Endpoint& other) const {
+    return host_id != other.host_id ? host_id < other.host_id : port < other.port;
+  }
+
+  std::string ToString() const { return StrCat("host", host_id, ":", port); }
+};
+
+struct EndpointHash {
+  size_t operator()(const Endpoint& ep) const {
+    return std::hash<int64_t>()((static_cast<int64_t>(ep.host_id) << 16) | ep.port);
+  }
+};
+
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_UTIL_ENDPOINT_H_

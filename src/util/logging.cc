@@ -1,0 +1,18 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+
+namespace rdmadl {
+namespace logging {
+namespace {
+
+std::atomic<Level> g_min_level{Level::kWarning};
+
+}  // namespace
+
+Level MinLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+
+void SetMinLogLevel(Level level) { g_min_level.store(level, std::memory_order_relaxed); }
+
+}  // namespace logging
+}  // namespace rdmadl

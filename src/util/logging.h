@@ -1,0 +1,126 @@
+// Minimal logging + check macros.
+//
+// LOG(INFO) << ...;  LOG(WARNING) << ...;  LOG(ERROR) << ...;
+// CHECK(cond) << ...;  CHECK_EQ(a, b) << ...;  CHECK fails abort the process.
+// Log verbosity is controlled by SetMinLogLevel (benchmarks silence INFO).
+#ifndef RDMADL_SRC_UTIL_LOGGING_H_
+#define RDMADL_SRC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rdmadl {
+namespace logging {
+
+enum class Level : int { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Returns the process-wide minimum level; messages below it are dropped.
+Level MinLogLevel();
+void SetMinLogLevel(Level level);
+
+class LogMessage {
+ public:
+  LogMessage(Level level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    if (level_ >= MinLogLevel()) {
+      std::cerr << stream_.str() << std::endl;
+    }
+    if (level_ == Level::kFatal) {
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(Level level) {
+    switch (level) {
+      case Level::kInfo:
+        return "INFO";
+      case Level::kWarning:
+        return "WARN";
+      case Level::kError:
+        return "ERROR";
+      case Level::kFatal:
+        return "FATAL";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  Level level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// operator& binds lower than operator<<, letting CHECK macros consume a whole
+// stream chain inside a ternary branch.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace logging
+
+#define LOG(severity) LOG_##severity
+#define LOG_INFO \
+  ::rdmadl::logging::LogMessage(::rdmadl::logging::Level::kInfo, __FILE__, __LINE__).stream()
+#define LOG_WARNING \
+  ::rdmadl::logging::LogMessage(::rdmadl::logging::Level::kWarning, __FILE__, __LINE__).stream()
+#define LOG_ERROR \
+  ::rdmadl::logging::LogMessage(::rdmadl::logging::Level::kError, __FILE__, __LINE__).stream()
+#define LOG_FATAL \
+  ::rdmadl::logging::LogMessage(::rdmadl::logging::Level::kFatal, __FILE__, __LINE__).stream()
+
+#define CHECK(cond)                                                                         \
+  (cond) ? (void)0                                                                          \
+         : ::rdmadl::logging::Voidify() &                                                   \
+               ::rdmadl::logging::LogMessage(::rdmadl::logging::Level::kFatal, __FILE__,    \
+                                             __LINE__)                                      \
+                       .stream()                                                            \
+                   << "Check failed: " #cond " "
+
+#define CHECK_OP(a, b, op)                                                                  \
+  ((a)op(b)) ? (void)0                                                                      \
+             : ::rdmadl::logging::Voidify() &                                               \
+                   ::rdmadl::logging::LogMessage(::rdmadl::logging::Level::kFatal,          \
+                                                 __FILE__, __LINE__)                        \
+                           .stream()                                                        \
+                       << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " << (b)   \
+                       << ") "
+
+#define CHECK_EQ(a, b) CHECK_OP(a, b, ==)
+#define CHECK_NE(a, b) CHECK_OP(a, b, !=)
+#define CHECK_LT(a, b) CHECK_OP(a, b, <)
+#define CHECK_LE(a, b) CHECK_OP(a, b, <=)
+#define CHECK_GT(a, b) CHECK_OP(a, b, >)
+#define CHECK_GE(a, b) CHECK_OP(a, b, >=)
+
+#define CHECK_OK(expr)                                            \
+  do {                                                            \
+    const ::rdmadl::Status _s = (expr);                           \
+    CHECK(_s.ok()) << _s.ToString();                              \
+  } while (0)
+
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_UTIL_LOGGING_H_

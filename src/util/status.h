@@ -1,0 +1,152 @@
+// Status and StatusOr<T>: lightweight error propagation used across the library.
+//
+// Modeled after absl::Status but self-contained. All public APIs in this
+// repository that can fail return Status (or StatusOr<T>) instead of throwing.
+#ifndef RDMADL_SRC_UTIL_STATUS_H_
+#define RDMADL_SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace rdmadl {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kResourceExhausted = 4,
+  kFailedPrecondition = 5,
+  kOutOfRange = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+  kUnavailable = 9,
+  kAborted = 10,
+  kDeadlineExceeded = 11,
+};
+
+const char* StatusCodeToString(StatusCode code);
+
+// Value-type status: OK or an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeToString(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status Aborted(std::string msg) {
+  return Status(StatusCode::kAborted, std::move(msg));
+}
+
+// StatusOr<T>: either a value or an error status. Accessing the value of an
+// errored StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : value_(value) {}          // NOLINT: implicit by design
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define RDMADL_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::rdmadl::Status _status = (expr);          \
+    if (!_status.ok()) return _status;          \
+  } while (0)
+
+#define RDMADL_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value()
+
+#define RDMADL_CONCAT_INNER(a, b) a##b
+#define RDMADL_CONCAT(a, b) RDMADL_CONCAT_INNER(a, b)
+
+#define RDMADL_ASSIGN_OR_RETURN(lhs, rexpr) \
+  RDMADL_ASSIGN_OR_RETURN_IMPL(RDMADL_CONCAT(_status_or_, __LINE__), lhs, rexpr)
+
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_UTIL_STATUS_H_

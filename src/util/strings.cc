@@ -1,0 +1,55 @@
+#include "src/util/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rdmadl {
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string HumanDuration(int64_t nanos) {
+  char buf[32];
+  double v = static_cast<double>(nanos);
+  if (nanos < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(nanos));
+  } else if (nanos < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", v / 1e3);
+  } else if (nanos < 1000LL * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", v / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", v / 1e9);
+  }
+  return buf;
+}
+
+std::vector<std::string> StrSplit(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+}  // namespace rdmadl

@@ -1,0 +1,40 @@
+// Small string helpers: StrCat-style concatenation and human-readable sizes.
+#ifndef RDMADL_SRC_UTIL_STRINGS_H_
+#define RDMADL_SRC_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rdmadl {
+
+namespace internal {
+inline void StrAppendImpl(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void StrAppendImpl(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  StrAppendImpl(os, rest...);
+}
+}  // namespace internal
+
+// Concatenates all arguments with operator<<.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrAppendImpl(os, args...);
+  return os.str();
+}
+
+// "1.50 KB", "2.00 MB", ... for byte counts.
+std::string HumanBytes(uint64_t bytes);
+
+// "12.3 us", "4.56 ms", ... for nanosecond durations.
+std::string HumanDuration(int64_t nanos);
+
+// Splits on a single character; empty pieces are kept.
+std::vector<std::string> StrSplit(const std::string& s, char sep);
+
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_UTIL_STRINGS_H_

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "src/train/convergence.h"
+
+namespace rdmadl {
+namespace train {
+namespace {
+
+TEST(ConvergenceProfileTest, StartsAtInitialDecreasesToFloor) {
+  ConvergenceProfile profile = Seq2SeqConvergence(/*tcp_samples_per_minute=*/1000);
+  EXPECT_DOUBLE_EQ(profile.MetricAt(0), profile.initial);
+  double prev = profile.initial;
+  for (double samples = 1000; samples < 1e9; samples *= 10) {
+    const double metric = profile.MetricAt(samples);
+    EXPECT_LT(metric, prev);
+    EXPECT_GT(metric, profile.floor);
+    prev = metric;
+  }
+}
+
+TEST(ConvergenceProfileTest, AnchoredToPaperTcpTime) {
+  // The gRPC.TCP run must hit the target exactly at the paper's minute count.
+  const double tcp_rate = 12345.0;
+  ConvergenceProfile profile = Seq2SeqConvergence(tcp_rate);
+  EXPECT_NEAR(MinutesToTarget(profile, tcp_rate), 220.0, 1e-6);
+  EXPECT_NEAR(profile.MetricAt(220.0 * tcp_rate), profile.target, 1e-6);
+}
+
+TEST(ConvergenceProfileTest, FasterMechanismConvergesProportionally) {
+  const double tcp_rate = 5000.0;
+  ConvergenceProfile profile = CifarConvergence(tcp_rate);
+  const double tcp_minutes = MinutesToTarget(profile, tcp_rate);
+  const double rdma_minutes = MinutesToTarget(profile, tcp_rate * 2.6);
+  EXPECT_NEAR(tcp_minutes / rdma_minutes, 2.6, 1e-9);
+}
+
+TEST(ConvergenceProfileTest, AllThreeApplicationProfilesAreSane) {
+  for (auto factory : {Seq2SeqConvergence, CifarConvergence, SeConvergence}) {
+    ConvergenceProfile profile = factory(1000.0);
+    EXPECT_GT(profile.initial, profile.target);
+    EXPECT_GT(profile.target, profile.floor);
+    EXPECT_GT(profile.samples_to_target, 0);
+    EXPECT_GT(profile.n0(), 0);
+  }
+}
+
+TEST(ConvergenceCurveTest, CurveIsMonotoneAndEndsAtTarget) {
+  ConvergenceProfile profile = SeConvergence(2000.0);
+  auto curve = SimulateCurve(profile, 2000.0, 10);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front().minutes, 0.0);
+  EXPECT_NEAR(curve.back().metric, profile.target, 1e-6);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].minutes, curve[i - 1].minutes);
+    EXPECT_LT(curve[i].metric, curve[i - 1].metric);
+  }
+}
+
+TEST(ConvergenceCurveTest, SameSampleCountSameMetricRegardlessOfSpeed) {
+  // Model quality depends only on samples processed, not the transport —
+  // the property Figure 10 relies on (verified for real transports by the
+  // mechanism-equivalence tests).
+  ConvergenceProfile profile = CifarConvergence(1000.0);
+  EXPECT_DOUBLE_EQ(profile.MetricAt(5e5), profile.MetricAt(5e5));
+  const double slow = MinutesToTarget(profile, 1000.0);
+  const double fast = MinutesToTarget(profile, 3000.0);
+  EXPECT_NEAR(profile.MetricAt(slow * 1000.0), profile.MetricAt(fast * 3000.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace train
+}  // namespace rdmadl

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/fabric.h"
+
+namespace rdmadl {
+namespace net {
+namespace {
+
+class FabricTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator_;
+  CostModel cost_;
+};
+
+TEST_F(FabricTest, ConstructsHosts) {
+  Fabric fabric(&simulator_, cost_, 4);
+  EXPECT_EQ(fabric.num_hosts(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(fabric.host(i)->id(), i);
+  }
+}
+
+TEST_F(FabricTest, TransferCompletesAfterBandwidthAndLatency) {
+  Fabric fabric(&simulator_, cost_, 2);
+  const uint64_t bytes = 1 << 20;  // 1 MB
+  int64_t completed_at = -1;
+  fabric.Transfer(0, 1, bytes, Plane::kRdma, 0, nullptr,
+                  [&] { completed_at = simulator_.Now(); });
+  ASSERT_TRUE(simulator_.Run().ok());
+  const int64_t wire_ns =
+      static_cast<int64_t>(bytes / cost_.rdma_bandwidth_bytes_per_sec * 1e9);
+  // Completion = serialization + one-way latency, within per-chunk rounding
+  // (each 4 KB chunk may truncate up to 1 ns).
+  EXPECT_GE(completed_at, wire_ns + cost_.rdma_one_way_latency_ns - 1000);
+  EXPECT_LE(completed_at, wire_ns + cost_.rdma_one_way_latency_ns + 10'000);
+}
+
+TEST_F(FabricTest, ChunksArriveInAscendingOffsetOrder) {
+  Fabric fabric(&simulator_, cost_, 2);
+  std::vector<uint64_t> offsets;
+  bool complete = false;
+  fabric.Transfer(
+      0, 1, 3 * cost_.rdma_mtu_bytes + 17, Plane::kRdma, 0,
+      [&](uint64_t offset, uint64_t length) { offsets.push_back(offset); },
+      [&] { complete = true; });
+  ASSERT_TRUE(simulator_.Run().ok());
+  EXPECT_TRUE(complete);
+  ASSERT_EQ(offsets.size(), 4u);
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    EXPECT_GT(offsets[i], offsets[i - 1]);
+  }
+  EXPECT_EQ(offsets[0], 0u);
+}
+
+TEST_F(FabricTest, ChunkLengthsSumToTotal) {
+  Fabric fabric(&simulator_, cost_, 2);
+  const uint64_t bytes = 10 * cost_.rdma_mtu_bytes + 123;
+  uint64_t sum = 0;
+  fabric.Transfer(
+      0, 1, bytes, Plane::kRdma, 0, [&](uint64_t, uint64_t length) { sum += length; },
+      nullptr);
+  ASSERT_TRUE(simulator_.Run().ok());
+  EXPECT_EQ(sum, bytes);
+}
+
+TEST_F(FabricTest, TcpPlaneIsSlowerThanRdma) {
+  Fabric fabric(&simulator_, cost_, 2);
+  const uint64_t bytes = 8 << 20;
+  int64_t rdma_done = 0, tcp_done = 0;
+  fabric.Transfer(0, 1, bytes, Plane::kRdma, 0, nullptr,
+                  [&] { rdma_done = simulator_.Now(); });
+  ASSERT_TRUE(simulator_.Run().ok());
+
+  sim::Simulator sim2;
+  Fabric fabric2(&sim2, cost_, 2);
+  fabric2.Transfer(0, 1, bytes, Plane::kTcp, 0, nullptr, [&] { tcp_done = sim2.Now(); });
+  ASSERT_TRUE(sim2.Run().ok());
+  EXPECT_GT(tcp_done, 2 * rdma_done);
+}
+
+TEST_F(FabricTest, ConcurrentTransfersShareEgressLink) {
+  Fabric fabric(&simulator_, cost_, 3);
+  const uint64_t bytes = 4 << 20;
+  int64_t t1 = 0, t2 = 0;
+  // Two transfers from host 0 contend on its egress.
+  fabric.Transfer(0, 1, bytes, Plane::kRdma, 0, nullptr, [&] { t1 = simulator_.Now(); });
+  fabric.Transfer(0, 2, bytes, Plane::kRdma, 0, nullptr, [&] { t2 = simulator_.Now(); });
+  ASSERT_TRUE(simulator_.Run().ok());
+  const int64_t one_wire_ns =
+      static_cast<int64_t>(bytes / cost_.rdma_bandwidth_bytes_per_sec * 1e9);
+  // The later one must take ~2x the single-transfer serialization time.
+  const int64_t last = std::max(t1, t2);
+  EXPECT_GE(last, 2 * one_wire_ns);
+}
+
+TEST_F(FabricTest, LoopbackDoesNotUseEgress) {
+  Fabric fabric(&simulator_, cost_, 2);
+  bool done = false;
+  fabric.Transfer(0, 0, 1 << 20, Plane::kRdma, 0, nullptr, [&] { done = true; });
+  ASSERT_TRUE(simulator_.Run().ok());
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fabric.host(0)->egress().busy_ns_total(), 0);
+  EXPECT_GT(fabric.host(0)->loopback().busy_ns_total(), 0);
+}
+
+TEST_F(FabricTest, ZeroByteTransferStillCompletes) {
+  Fabric fabric(&simulator_, cost_, 2);
+  bool done = false;
+  int chunks = 0;
+  fabric.Transfer(
+      0, 1, 0, Plane::kRdma, 0, [&](uint64_t, uint64_t) { ++chunks; }, [&] { done = true; });
+  ASSERT_TRUE(simulator_.Run().ok());
+  EXPECT_TRUE(done);
+  EXPECT_EQ(chunks, 0);
+}
+
+TEST_F(FabricTest, InitiationDelayShiftsCompletion) {
+  Fabric fabric(&simulator_, cost_, 2);
+  int64_t t_no_delay = 0, t_delay = 0;
+  {
+    sim::Simulator s1;
+    Fabric f1(&s1, cost_, 2);
+    f1.Transfer(0, 1, 4096, Plane::kRdma, 0, nullptr, [&] { t_no_delay = s1.Now(); });
+    ASSERT_TRUE(s1.Run().ok());
+  }
+  {
+    sim::Simulator s2;
+    Fabric f2(&s2, cost_, 2);
+    f2.Transfer(0, 1, 4096, Plane::kRdma, 50'000, nullptr, [&] { t_delay = s2.Now(); });
+    ASSERT_TRUE(s2.Run().ok());
+  }
+  EXPECT_EQ(t_delay - t_no_delay, 50'000);
+}
+
+TEST_F(FabricTest, StatsAccumulatePerPlane) {
+  Fabric fabric(&simulator_, cost_, 2);
+  fabric.Transfer(0, 1, 1000, Plane::kRdma, 0, nullptr, nullptr);
+  fabric.Transfer(0, 1, 2000, Plane::kRdma, 0, nullptr, nullptr);
+  fabric.Transfer(1, 0, 500, Plane::kTcp, 0, nullptr, nullptr);
+  ASSERT_TRUE(simulator_.Run().ok());
+  EXPECT_EQ(fabric.stats(Plane::kRdma).transfers, 2u);
+  EXPECT_EQ(fabric.stats(Plane::kRdma).bytes, 3000u);
+  EXPECT_EQ(fabric.stats(Plane::kTcp).transfers, 1u);
+  EXPECT_EQ(fabric.stats(Plane::kTcp).bytes, 500u);
+}
+
+TEST(LinkTest, ReserveSerializes) {
+  Link link("test");
+  EXPECT_EQ(link.Reserve(100, 50), 150);
+  EXPECT_EQ(link.Reserve(100, 50), 200);  // Starts after the previous slot.
+  EXPECT_EQ(link.Reserve(500, 50), 550);  // Idle gap allowed.
+  EXPECT_EQ(link.busy_ns_total(), 150);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace rdmadl

@@ -1,0 +1,425 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "src/rdma/verbs.h"
+
+namespace rdmadl {
+namespace rdma {
+namespace {
+
+class VerbsTest : public ::testing::Test {
+ protected:
+  VerbsTest() : fabric_(&simulator_, cost_, 3), rdma_(&fabric_) {}
+
+  // Creates a connected QP pair between hosts a and b; returns {qp_a, qp_b}.
+  std::pair<QueuePair*, QueuePair*> ConnectedPair(int a, int b) {
+    NicDevice* na = rdma_.nic(a);
+    NicDevice* nb = rdma_.nic(b);
+    CompletionQueue* cqa = na->CreateCompletionQueue();
+    CompletionQueue* cqb = nb->CreateCompletionQueue();
+    QueuePair* qa = na->CreateQueuePair(cqa, cqa);
+    QueuePair* qb = nb->CreateQueuePair(cqb, cqb);
+    CHECK_OK(qa->Connect(qb));
+    return {qa, qb};
+  }
+
+  sim::Simulator simulator_;
+  net::CostModel cost_;
+  net::Fabric fabric_;
+  RdmaFabric rdma_;
+};
+
+TEST_F(VerbsTest, RegisterMemoryAssignsDistinctKeys) {
+  std::vector<uint8_t> buf(4096);
+  auto mr1 = rdma_.nic(0)->RegisterMemory(buf.data(), buf.size());
+  auto mr2 = rdma_.nic(0)->RegisterMemory(buf.data(), buf.size());
+  ASSERT_TRUE(mr1.ok());
+  ASSERT_TRUE(mr2.ok());
+  EXPECT_NE(mr1->lkey, mr2->lkey);
+  EXPECT_NE(mr1->rkey, mr2->rkey);
+  EXPECT_NE(mr1->lkey, mr1->rkey);
+}
+
+TEST_F(VerbsTest, RegisterMemoryRejectsEmpty) {
+  EXPECT_FALSE(rdma_.nic(0)->RegisterMemory(nullptr, 100).ok());
+  std::vector<uint8_t> buf(16);
+  EXPECT_FALSE(rdma_.nic(0)->RegisterMemory(buf.data(), 0).ok());
+}
+
+TEST_F(VerbsTest, MemoryRegionLimitEnforced) {
+  net::CostModel tight = cost_;
+  tight.max_memory_regions = 3;
+  net::Fabric fabric(&simulator_, tight, 1);
+  RdmaFabric rdma(&fabric);
+  std::vector<uint8_t> buf(64);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rdma.nic(0)->RegisterMemory(buf.data(), buf.size()).ok());
+  }
+  auto overflow = rdma.nic(0)->RegisterMemory(buf.data(), buf.size());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(VerbsTest, DeregisterFreesSlot) {
+  std::vector<uint8_t> buf(64);
+  auto mr = rdma_.nic(0)->RegisterMemory(buf.data(), buf.size());
+  ASSERT_TRUE(mr.ok());
+  EXPECT_EQ(rdma_.nic(0)->num_registered_regions(), 1);
+  ASSERT_TRUE(rdma_.nic(0)->DeregisterMemory(*mr).ok());
+  EXPECT_EQ(rdma_.nic(0)->num_registered_regions(), 0);
+  EXPECT_EQ(rdma_.nic(0)->DeregisterMemory(*mr).code(), StatusCode::kNotFound);
+}
+
+TEST_F(VerbsTest, RegistrationCostScalesWithPages) {
+  NicDevice* nic = rdma_.nic(0);
+  const int64_t one_page = nic->RegistrationCost(100);
+  const int64_t many_pages = nic->RegistrationCost(100 * cost_.mr_page_bytes);
+  EXPECT_GT(many_pages, one_page);
+  EXPECT_EQ(one_page, cost_.mr_register_base_ns + cost_.mr_register_per_page_ns);
+}
+
+TEST_F(VerbsTest, OneSidedWriteCopiesBytes) {
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> src(64 * 1024);
+  std::vector<uint8_t> dst(64 * 1024, 0);
+  std::iota(src.begin(), src.end(), 0);
+  auto src_mr = rdma_.nic(0)->RegisterMemory(src.data(), src.size());
+  auto dst_mr = rdma_.nic(1)->RegisterMemory(dst.data(), dst.size());
+  ASSERT_TRUE(src_mr.ok() && dst_mr.ok());
+
+  SendWorkRequest wr;
+  wr.wr_id = 7;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = reinterpret_cast<uint64_t>(src.data());
+  wr.lkey = src_mr->lkey;
+  wr.length = src.size();
+  wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+  wr.rkey = dst_mr->rkey;
+  ASSERT_TRUE(qa->PostSend(wr).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+
+  EXPECT_EQ(src, dst);
+  WorkCompletion wc;
+  ASSERT_TRUE(qa->send_cq()->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 7u);
+  EXPECT_TRUE(wc.status.ok());
+  EXPECT_EQ(wc.byte_len, src.size());
+}
+
+TEST_F(VerbsTest, WriteSegmentsLandInAscendingAddressOrder) {
+  // The flag-byte protocol (§3.2) depends on this: poll mid-transfer and
+  // verify that if byte N is written, all bytes below N are written too.
+  auto [qa, qb] = ConnectedPair(0, 1);
+  const size_t size = 16 * cost_.rdma_mtu_bytes;
+  std::vector<uint8_t> src(size, 0xAB);
+  std::vector<uint8_t> dst(size, 0);
+  auto src_mr = rdma_.nic(0)->RegisterMemory(src.data(), src.size());
+  auto dst_mr = rdma_.nic(1)->RegisterMemory(dst.data(), dst.size());
+
+  SendWorkRequest wr;
+  wr.wr_id = 1;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = reinterpret_cast<uint64_t>(src.data());
+  wr.lkey = src_mr->lkey;
+  wr.length = size;
+  wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+  wr.rkey = dst_mr->rkey;
+  ASSERT_TRUE(qa->PostSend(wr).ok());
+
+  // Step the simulation in small time slices and check the prefix property.
+  bool saw_partial = false;
+  for (int step = 0; step < 1000; ++step) {
+    ASSERT_TRUE(simulator_.RunUntil(simulator_.Now() + 500).ok());
+    size_t written = 0;
+    while (written < size && dst[written] == 0xAB) ++written;
+    for (size_t i = written; i < size; ++i) {
+      ASSERT_EQ(dst[i], 0) << "byte " << i << " written before prefix complete";
+    }
+    if (written > 0 && written < size) saw_partial = true;
+    if (written == size) break;
+  }
+  EXPECT_TRUE(saw_partial) << "expected to observe a partially delivered tensor";
+  EXPECT_EQ(dst, src);
+}
+
+TEST_F(VerbsTest, OneSidedReadCopiesBytes) {
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> remote(32 * 1024);
+  std::vector<uint8_t> local(32 * 1024, 0);
+  std::iota(remote.begin(), remote.end(), 1);
+  auto remote_mr = rdma_.nic(1)->RegisterMemory(remote.data(), remote.size());
+  auto local_mr = rdma_.nic(0)->RegisterMemory(local.data(), local.size());
+
+  SendWorkRequest wr;
+  wr.wr_id = 9;
+  wr.opcode = Opcode::kRead;
+  wr.local_addr = reinterpret_cast<uint64_t>(local.data());
+  wr.lkey = local_mr->lkey;
+  wr.length = local.size();
+  wr.remote_addr = reinterpret_cast<uint64_t>(remote.data());
+  wr.rkey = remote_mr->rkey;
+  ASSERT_TRUE(qa->PostSend(wr).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+  EXPECT_EQ(local, remote);
+}
+
+TEST_F(VerbsTest, ReadIsSlowerThanWriteBySmallRequestTrip) {
+  // An RDMA read pays an extra request trip to the target before data flows.
+  const size_t size = 4096;
+  int64_t write_done = 0, read_done = 0;
+  {
+    sim::Simulator s;
+    net::Fabric f(&s, cost_, 2);
+    RdmaFabric r(&f);
+    auto* cqa = r.nic(0)->CreateCompletionQueue();
+    auto* cqb = r.nic(1)->CreateCompletionQueue();
+    QueuePair* qa = r.nic(0)->CreateQueuePair(cqa, cqa);
+    QueuePair* qb = r.nic(1)->CreateQueuePair(cqb, cqb);
+    CHECK_OK(qa->Connect(qb));
+    std::vector<uint8_t> src(size), dst(size);
+    auto src_mr = r.nic(0)->RegisterMemory(src.data(), size);
+    auto dst_mr = r.nic(1)->RegisterMemory(dst.data(), size);
+    cqa->SetCompletionHandler([&] { write_done = s.Now(); });
+    SendWorkRequest wr{1, Opcode::kWrite, reinterpret_cast<uint64_t>(src.data()), src_mr->lkey,
+                       size, reinterpret_cast<uint64_t>(dst.data()), dst_mr->rkey};
+    ASSERT_TRUE(qa->PostSend(wr).ok());
+    ASSERT_TRUE(s.Run().ok());
+  }
+  {
+    sim::Simulator s;
+    net::Fabric f(&s, cost_, 2);
+    RdmaFabric r(&f);
+    auto* cqa = r.nic(0)->CreateCompletionQueue();
+    auto* cqb = r.nic(1)->CreateCompletionQueue();
+    QueuePair* qa = r.nic(0)->CreateQueuePair(cqa, cqa);
+    QueuePair* qb = r.nic(1)->CreateQueuePair(cqb, cqb);
+    CHECK_OK(qa->Connect(qb));
+    std::vector<uint8_t> local(size), remote(size);
+    auto local_mr = r.nic(0)->RegisterMemory(local.data(), size);
+    auto remote_mr = r.nic(1)->RegisterMemory(remote.data(), size);
+    cqa->SetCompletionHandler([&] { read_done = s.Now(); });
+    SendWorkRequest wr{1, Opcode::kRead, reinterpret_cast<uint64_t>(local.data()),
+                       local_mr->lkey, size, reinterpret_cast<uint64_t>(remote.data()),
+                       remote_mr->rkey};
+    ASSERT_TRUE(qa->PostSend(wr).ok());
+    ASSERT_TRUE(s.Run().ok());
+  }
+  EXPECT_GT(read_done, write_done);
+  EXPECT_LT(read_done, write_done + 2 * cost_.rdma_one_way_latency_ns +
+                           4 * cost_.rdma_nic_processing_ns);
+}
+
+TEST_F(VerbsTest, WriteWithBadRkeyFailsWithErrorCompletion) {
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> src(128), dst(128);
+  auto src_mr = rdma_.nic(0)->RegisterMemory(src.data(), src.size());
+  auto dst_mr = rdma_.nic(1)->RegisterMemory(dst.data(), dst.size());
+  SendWorkRequest wr;
+  wr.wr_id = 3;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = reinterpret_cast<uint64_t>(src.data());
+  wr.lkey = src_mr->lkey;
+  wr.length = src.size();
+  wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+  wr.rkey = dst_mr->rkey + 999;  // Bogus key.
+  ASSERT_TRUE(qa->PostSend(wr).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+  WorkCompletion wc;
+  ASSERT_TRUE(qa->send_cq()->Poll(&wc));
+  EXPECT_FALSE(wc.status.ok());
+  EXPECT_EQ(rdma_.nic(1)->stats().rkey_violations, 1u);
+}
+
+TEST_F(VerbsTest, WriteBeyondRegionBoundsFails) {
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> src(256), dst(128);
+  auto src_mr = rdma_.nic(0)->RegisterMemory(src.data(), src.size());
+  auto dst_mr = rdma_.nic(1)->RegisterMemory(dst.data(), dst.size());
+  SendWorkRequest wr;
+  wr.wr_id = 4;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = reinterpret_cast<uint64_t>(src.data());
+  wr.lkey = src_mr->lkey;
+  wr.length = 256;  // Larger than the 128-byte target region.
+  wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+  wr.rkey = dst_mr->rkey;
+  ASSERT_TRUE(qa->PostSend(wr).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+  WorkCompletion wc;
+  ASSERT_TRUE(qa->send_cq()->Poll(&wc));
+  EXPECT_EQ(wc.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(VerbsTest, PostSendOnUnconnectedQpFails) {
+  NicDevice* nic = rdma_.nic(0);
+  CompletionQueue* cq = nic->CreateCompletionQueue();
+  QueuePair* qp = nic->CreateQueuePair(cq, cq);
+  std::vector<uint8_t> buf(64);
+  auto mr = nic->RegisterMemory(buf.data(), buf.size());
+  SendWorkRequest wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = reinterpret_cast<uint64_t>(buf.data());
+  wr.lkey = mr->lkey;
+  wr.length = 64;
+  EXPECT_EQ(qp->PostSend(wr).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(VerbsTest, PostSendWithUnregisteredLocalBufferFails) {
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> buf(64);
+  SendWorkRequest wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = reinterpret_cast<uint64_t>(buf.data());
+  wr.lkey = 12345;
+  wr.length = 64;
+  EXPECT_EQ(qa->PostSend(wr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(VerbsTest, SendRecvDeliversMessage) {
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> msg(1000);
+  std::iota(msg.begin(), msg.end(), 3);
+  std::vector<uint8_t> recv_buf(4096, 0);
+  auto msg_mr = rdma_.nic(0)->RegisterMemory(msg.data(), msg.size());
+  auto recv_mr = rdma_.nic(1)->RegisterMemory(recv_buf.data(), recv_buf.size());
+
+  RecvWorkRequest rwr;
+  rwr.wr_id = 100;
+  rwr.addr = reinterpret_cast<uint64_t>(recv_buf.data());
+  rwr.lkey = recv_mr->lkey;
+  rwr.length = recv_buf.size();
+  ASSERT_TRUE(qb->PostRecv(rwr).ok());
+
+  SendWorkRequest swr;
+  swr.wr_id = 101;
+  swr.opcode = Opcode::kSend;
+  swr.local_addr = reinterpret_cast<uint64_t>(msg.data());
+  swr.lkey = msg_mr->lkey;
+  swr.length = msg.size();
+  ASSERT_TRUE(qa->PostSend(swr).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+
+  WorkCompletion wc;
+  ASSERT_TRUE(qb->recv_cq()->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 100u);
+  EXPECT_EQ(wc.byte_len, msg.size());
+  EXPECT_TRUE(std::memcmp(recv_buf.data(), msg.data(), msg.size()) == 0);
+}
+
+TEST_F(VerbsTest, SendWaitsForPostedRecv) {
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> msg(100, 0x5A);
+  std::vector<uint8_t> recv_buf(4096, 0);
+  auto msg_mr = rdma_.nic(0)->RegisterMemory(msg.data(), msg.size());
+  auto recv_mr = rdma_.nic(1)->RegisterMemory(recv_buf.data(), recv_buf.size());
+
+  SendWorkRequest swr;
+  swr.wr_id = 1;
+  swr.opcode = Opcode::kSend;
+  swr.local_addr = reinterpret_cast<uint64_t>(msg.data());
+  swr.lkey = msg_mr->lkey;
+  swr.length = msg.size();
+  ASSERT_TRUE(qa->PostSend(swr).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+
+  // No recv posted yet: nothing delivered.
+  WorkCompletion wc;
+  EXPECT_FALSE(qb->recv_cq()->Poll(&wc));
+
+  RecvWorkRequest rwr;
+  rwr.wr_id = 2;
+  rwr.addr = reinterpret_cast<uint64_t>(recv_buf.data());
+  rwr.lkey = recv_mr->lkey;
+  rwr.length = recv_buf.size();
+  ASSERT_TRUE(qb->PostRecv(rwr).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+  ASSERT_TRUE(qb->recv_cq()->Poll(&wc));
+  EXPECT_EQ(wc.byte_len, msg.size());
+  EXPECT_EQ(recv_buf[0], 0x5A);
+}
+
+TEST_F(VerbsTest, OversizedSendCompletesWithError) {
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> msg(4096, 1);
+  std::vector<uint8_t> recv_buf(100);
+  auto msg_mr = rdma_.nic(0)->RegisterMemory(msg.data(), msg.size());
+  auto recv_mr = rdma_.nic(1)->RegisterMemory(recv_buf.data(), recv_buf.size());
+
+  RecvWorkRequest rwr;
+  rwr.wr_id = 5;
+  rwr.addr = reinterpret_cast<uint64_t>(recv_buf.data());
+  rwr.lkey = recv_mr->lkey;
+  rwr.length = recv_buf.size();
+  ASSERT_TRUE(qb->PostRecv(rwr).ok());
+
+  SendWorkRequest swr;
+  swr.wr_id = 6;
+  swr.opcode = Opcode::kSend;
+  swr.local_addr = reinterpret_cast<uint64_t>(msg.data());
+  swr.lkey = msg_mr->lkey;
+  swr.length = msg.size();
+  ASSERT_TRUE(qa->PostSend(swr).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+
+  WorkCompletion wc;
+  ASSERT_TRUE(qb->recv_cq()->Poll(&wc));
+  EXPECT_FALSE(wc.status.ok());
+}
+
+TEST_F(VerbsTest, QpSerializesWorkRequestsInOrder) {
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> src(1024, 0x11);
+  std::vector<uint8_t> dst(1024, 0);
+  auto src_mr = rdma_.nic(0)->RegisterMemory(src.data(), src.size());
+  auto dst_mr = rdma_.nic(1)->RegisterMemory(dst.data(), dst.size());
+
+  std::vector<uint64_t> completion_order;
+  qa->send_cq()->SetCompletionHandler([&] {
+    WorkCompletion wc;
+    while (qa->send_cq()->Poll(&wc)) completion_order.push_back(wc.wr_id);
+  });
+  for (uint64_t i = 0; i < 5; ++i) {
+    SendWorkRequest wr;
+    wr.wr_id = i;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = reinterpret_cast<uint64_t>(src.data());
+    wr.lkey = src_mr->lkey;
+    wr.length = src.size();
+    wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+    wr.rkey = dst_mr->rkey;
+    ASSERT_TRUE(qa->PostSend(wr).ok());
+  }
+  ASSERT_TRUE(simulator_.Run().ok());
+  ASSERT_EQ(completion_order.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) EXPECT_EQ(completion_order[i], i);
+}
+
+TEST_F(VerbsTest, NicStatsTrackTraffic) {
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> a(2048), b(2048);
+  auto a_mr = rdma_.nic(0)->RegisterMemory(a.data(), a.size());
+  auto b_mr = rdma_.nic(1)->RegisterMemory(b.data(), b.size());
+  SendWorkRequest wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = reinterpret_cast<uint64_t>(a.data());
+  wr.lkey = a_mr->lkey;
+  wr.length = 2048;
+  wr.remote_addr = reinterpret_cast<uint64_t>(b.data());
+  wr.rkey = b_mr->rkey;
+  ASSERT_TRUE(qa->PostSend(wr).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+  EXPECT_EQ(rdma_.nic(0)->stats().writes, 1u);
+  EXPECT_EQ(rdma_.nic(0)->stats().write_bytes, 2048u);
+}
+
+TEST_F(VerbsTest, ConnectTwiceFails) {
+  auto [qa, qb] = ConnectedPair(0, 1);
+  auto [qc, qd] = ConnectedPair(0, 1);
+  EXPECT_EQ(qa->Connect(qc).code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace rdma
+}  // namespace rdmadl

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+
+namespace rdmadl {
+namespace sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.Now(), 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(300, [&] { order.push_back(3); });
+  s.ScheduleAt(100, [&] { order.push_back(1); });
+  s.ScheduleAt(200, [&] { order.push_back(2); });
+  ASSERT_TRUE(s.Run().ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 300);
+}
+
+TEST(SimulatorTest, EqualTimeEventsRunInScheduleOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  ASSERT_TRUE(s.Run().ok());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator s;
+  int64_t observed = -1;
+  s.ScheduleAt(1000, [&] {
+    s.ScheduleAfter(500, [&] { observed = s.Now(); });
+  });
+  ASSERT_TRUE(s.Run().ok());
+  EXPECT_EQ(observed, 1500);
+}
+
+TEST(SimulatorTest, NestedSchedulingFromCallbacks) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 100) s.ScheduleAfter(10, recurse);
+  };
+  s.ScheduleAfter(0, recurse);
+  ASSERT_TRUE(s.Run().ok());
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.Now(), 99 * 10);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.ScheduleAt(100, [&] { ++fired; });
+  s.ScheduleAt(200, [&] { ++fired; });
+  s.ScheduleAt(300, [&] { ++fired; });
+  ASSERT_TRUE(s.RunUntil(250).ok());
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.Now(), 250);
+  ASSERT_TRUE(s.Run().ok());
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesIdleTime) {
+  Simulator s;
+  ASSERT_TRUE(s.RunUntil(12345).ok());
+  EXPECT_EQ(s.Now(), 12345);
+}
+
+TEST(SimulatorTest, RunUntilPredicate) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> tick = [&]() {
+    ++count;
+    s.ScheduleAfter(10, tick);
+  };
+  s.ScheduleAfter(10, tick);
+  ASSERT_TRUE(s.RunUntilPredicate([&] { return count >= 5; }).ok());
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SimulatorTest, RunUntilPredicateFailsOnDrain) {
+  Simulator s;
+  s.ScheduleAfter(10, [] {});
+  Status st = s.RunUntilPredicate([] { return false; });
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SimulatorTest, EventCapDetectsLivelock) {
+  Simulator s;
+  std::function<void()> spin = [&]() { s.ScheduleAfter(1, spin); };
+  s.ScheduleAfter(0, spin);
+  Status st = s.Run(/*max_events=*/1000);
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SimulatorTest, StopEndsRun) {
+  Simulator s;
+  int fired = 0;
+  s.ScheduleAt(10, [&] {
+    ++fired;
+    s.Stop();
+  });
+  s.ScheduleAt(20, [&] { ++fired; });
+  ASSERT_TRUE(s.Run().ok());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, CountsDispatchedEvents) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.ScheduleAfter(i, [] {});
+  ASSERT_TRUE(s.Run().ok());
+  EXPECT_EQ(s.events_dispatched(), 7u);
+}
+
+TEST(DurationHelpersTest, Conversions) {
+  EXPECT_EQ(Microseconds(2.5), 2500);
+  EXPECT_EQ(Milliseconds(1.0), 1'000'000);
+  EXPECT_EQ(Seconds(0.001), 1'000'000);
+  EXPECT_EQ(Nanoseconds(7), 7);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(13), 13u);
+  }
+  EXPECT_EQ(r.Uniform(0), 0u);
+}
+
+TEST(RngTest, NormalHasRoughlyZeroMeanUnitVariance) {
+  Rng r(123);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = r.Normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace rdmadl

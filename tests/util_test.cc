@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "src/util/endpoint.h"
+#include "src/util/status.h"
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad tensor shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad tensor shape");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad tensor shape");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(ResourceExhausted("").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(FailedPrecondition("").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Unimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Unavailable("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Aborted("").code(), StatusCode::kAborted);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  RDMADL_ASSIGN_OR_RETURN(*out, Half(x));
+  return OkStatus();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseHalf(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KB");
+  EXPECT_EQ(HumanBytes(uint64_t{3} * 1024 * 1024), "3.00 MB");
+  EXPECT_EQ(HumanBytes(uint64_t{5} * 1024 * 1024 * 1024), "5.00 GB");
+}
+
+TEST(StringsTest, HumanDuration) {
+  EXPECT_EQ(HumanDuration(500), "500 ns");
+  EXPECT_EQ(HumanDuration(12'300), "12.30 us");
+  EXPECT_EQ(HumanDuration(4'560'000), "4.56 ms");
+  EXPECT_EQ(HumanDuration(2'000'000'000), "2.00 s");
+}
+
+TEST(StringsTest, StrSplit) {
+  auto parts = StrSplit("a:b::c", ':');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+}
+
+TEST(EndpointTest, EqualityAndOrdering) {
+  Endpoint a{0, 1000};
+  Endpoint b{0, 1001};
+  Endpoint c{1, 1000};
+  EXPECT_EQ(a, a);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a.ToString(), "host0:1000");
+}
+
+TEST(EndpointTest, HashDistinguishes) {
+  EndpointHash h;
+  EXPECT_NE(h(Endpoint{0, 1}), h(Endpoint{1, 0}));
+}
+
+}  // namespace
+}  // namespace rdmadl
