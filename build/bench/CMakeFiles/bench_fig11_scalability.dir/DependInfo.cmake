@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_scalability.cc" "bench/CMakeFiles/bench_fig11_scalability.dir/bench_fig11_scalability.cc.o" "gcc" "bench/CMakeFiles/bench_fig11_scalability.dir/bench_fig11_scalability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/rdmadl_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/rdmadl_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/rdmadl_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rdmadl_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/rdmadl_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/rdmadl_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rdmadl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rdmadl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/rdmadl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/rdmadl_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rdmadl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmadl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmadl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_tensor_ccdf.dir/bench_fig7_tensor_ccdf.cc.o"
+  "CMakeFiles/bench_fig7_tensor_ccdf.dir/bench_fig7_tensor_ccdf.cc.o.d"
+  "bench_fig7_tensor_ccdf"
+  "bench_fig7_tensor_ccdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_tensor_ccdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

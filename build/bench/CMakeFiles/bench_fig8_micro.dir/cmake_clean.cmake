@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_micro.dir/bench_fig8_micro.cc.o"
+  "CMakeFiles/bench_fig8_micro.dir/bench_fig8_micro.cc.o.d"
+  "bench_fig8_micro"
+  "bench_fig8_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

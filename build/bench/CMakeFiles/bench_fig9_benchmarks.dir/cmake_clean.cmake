@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_benchmarks.dir/bench_fig9_benchmarks.cc.o"
+  "CMakeFiles/bench_fig9_benchmarks.dir/bench_fig9_benchmarks.cc.o.d"
+  "bench_fig9_benchmarks"
+  "bench_fig9_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_gdr.dir/bench_table3_gdr.cc.o"
+  "CMakeFiles/bench_table3_gdr.dir/bench_table3_gdr.cc.o.d"
+  "bench_table3_gdr"
+  "bench_table3_gdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_gdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_analysis.dir/graph_analysis.cpp.o"
+  "CMakeFiles/graph_analysis.dir/graph_analysis.cpp.o.d"
+  "graph_analysis"
+  "graph_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("net")
+subdirs("rdma")
+subdirs("device")
+subdirs("tensor")
+subdirs("graph")
+subdirs("ops")
+subdirs("analyzer")
+subdirs("runtime")
+subdirs("comm")
+subdirs("models")
+subdirs("train")
+subdirs("core")

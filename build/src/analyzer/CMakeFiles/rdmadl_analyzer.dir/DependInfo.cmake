@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/shape_inference.cc" "src/analyzer/CMakeFiles/rdmadl_analyzer.dir/shape_inference.cc.o" "gcc" "src/analyzer/CMakeFiles/rdmadl_analyzer.dir/shape_inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rdmadl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmadl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rdmadl_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmadl_analyzer.dir/shape_inference.cc.o"
+  "CMakeFiles/rdmadl_analyzer.dir/shape_inference.cc.o.d"
+  "librdmadl_analyzer.a"
+  "librdmadl_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmadl_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmadl_comm.dir/rpc_mechanism.cc.o"
+  "CMakeFiles/rdmadl_comm.dir/rpc_mechanism.cc.o.d"
+  "CMakeFiles/rdmadl_comm.dir/zerocopy_mechanism.cc.o"
+  "CMakeFiles/rdmadl_comm.dir/zerocopy_mechanism.cc.o.d"
+  "librdmadl_comm.a"
+  "librdmadl_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmadl_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

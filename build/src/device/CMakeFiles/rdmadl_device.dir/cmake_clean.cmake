@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmadl_device.dir/rdma_device.cc.o"
+  "CMakeFiles/rdmadl_device.dir/rdma_device.cc.o.d"
+  "librdmadl_device.a"
+  "librdmadl_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmadl_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/rdmadl_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/rdmadl_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/op_registry.cc" "src/graph/CMakeFiles/rdmadl_graph.dir/op_registry.cc.o" "gcc" "src/graph/CMakeFiles/rdmadl_graph.dir/op_registry.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/graph/CMakeFiles/rdmadl_graph.dir/partition.cc.o" "gcc" "src/graph/CMakeFiles/rdmadl_graph.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rdmadl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmadl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

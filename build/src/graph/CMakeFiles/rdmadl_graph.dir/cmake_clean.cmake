@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmadl_graph.dir/graph.cc.o"
+  "CMakeFiles/rdmadl_graph.dir/graph.cc.o.d"
+  "CMakeFiles/rdmadl_graph.dir/op_registry.cc.o"
+  "CMakeFiles/rdmadl_graph.dir/op_registry.cc.o.d"
+  "CMakeFiles/rdmadl_graph.dir/partition.cc.o"
+  "CMakeFiles/rdmadl_graph.dir/partition.cc.o.d"
+  "librdmadl_graph.a"
+  "librdmadl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmadl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmadl_models.dir/model_spec.cc.o"
+  "CMakeFiles/rdmadl_models.dir/model_spec.cc.o.d"
+  "librdmadl_models.a"
+  "librdmadl_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmadl_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

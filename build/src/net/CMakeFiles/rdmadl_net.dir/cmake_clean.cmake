@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmadl_net.dir/fabric.cc.o"
+  "CMakeFiles/rdmadl_net.dir/fabric.cc.o.d"
+  "librdmadl_net.a"
+  "librdmadl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmadl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmadl_ops.dir/kernel.cc.o"
+  "CMakeFiles/rdmadl_ops.dir/kernel.cc.o.d"
+  "CMakeFiles/rdmadl_ops.dir/standard_ops.cc.o"
+  "CMakeFiles/rdmadl_ops.dir/standard_ops.cc.o.d"
+  "librdmadl_ops.a"
+  "librdmadl_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmadl_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmadl_rdma.dir/verbs.cc.o"
+  "CMakeFiles/rdmadl_rdma.dir/verbs.cc.o.d"
+  "librdmadl_rdma.a"
+  "librdmadl_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmadl_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

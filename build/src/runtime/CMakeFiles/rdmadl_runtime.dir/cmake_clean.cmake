@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmadl_runtime.dir/executor.cc.o"
+  "CMakeFiles/rdmadl_runtime.dir/executor.cc.o.d"
+  "CMakeFiles/rdmadl_runtime.dir/host_runtime.cc.o"
+  "CMakeFiles/rdmadl_runtime.dir/host_runtime.cc.o.d"
+  "CMakeFiles/rdmadl_runtime.dir/session.cc.o"
+  "CMakeFiles/rdmadl_runtime.dir/session.cc.o.d"
+  "librdmadl_runtime.a"
+  "librdmadl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmadl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmadl_sim.dir/simulator.cc.o"
+  "CMakeFiles/rdmadl_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/rdmadl_sim.dir/trace.cc.o"
+  "CMakeFiles/rdmadl_sim.dir/trace.cc.o.d"
+  "librdmadl_sim.a"
+  "librdmadl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmadl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

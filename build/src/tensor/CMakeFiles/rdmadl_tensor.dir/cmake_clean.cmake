@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmadl_tensor.dir/allocator.cc.o"
+  "CMakeFiles/rdmadl_tensor.dir/allocator.cc.o.d"
+  "CMakeFiles/rdmadl_tensor.dir/arena_allocator.cc.o"
+  "CMakeFiles/rdmadl_tensor.dir/arena_allocator.cc.o.d"
+  "CMakeFiles/rdmadl_tensor.dir/dtype.cc.o"
+  "CMakeFiles/rdmadl_tensor.dir/dtype.cc.o.d"
+  "CMakeFiles/rdmadl_tensor.dir/shape.cc.o"
+  "CMakeFiles/rdmadl_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/rdmadl_tensor.dir/tensor.cc.o"
+  "CMakeFiles/rdmadl_tensor.dir/tensor.cc.o.d"
+  "librdmadl_tensor.a"
+  "librdmadl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmadl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

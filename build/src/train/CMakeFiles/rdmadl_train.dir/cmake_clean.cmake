@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmadl_train.dir/convergence.cc.o"
+  "CMakeFiles/rdmadl_train.dir/convergence.cc.o.d"
+  "CMakeFiles/rdmadl_train.dir/ps_training.cc.o"
+  "CMakeFiles/rdmadl_train.dir/ps_training.cc.o.d"
+  "librdmadl_train.a"
+  "librdmadl_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmadl_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmadl_util.dir/logging.cc.o"
+  "CMakeFiles/rdmadl_util.dir/logging.cc.o.d"
+  "CMakeFiles/rdmadl_util.dir/status.cc.o"
+  "CMakeFiles/rdmadl_util.dir/status.cc.o.d"
+  "CMakeFiles/rdmadl_util.dir/strings.cc.o"
+  "CMakeFiles/rdmadl_util.dir/strings.cc.o.d"
+  "librdmadl_util.a"
+  "librdmadl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmadl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
