@@ -1,0 +1,75 @@
+// Ring all-reduce in five minutes.
+//
+// Builds a 4-host collective group over the simulated RDMA fabric and runs
+// one gradient-style all-reduce end to end: each rank fills its buffer with
+// rank-distinct values, the ring reduce-scatter + all-gather runs entirely
+// over preallocated, address-exchanged ring buffers with one-sided zero-copy
+// writes (§3.2's static placement), and every rank ends up holding the exact
+// element-wise sum. Also shows a broadcast from rank 0.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/ring_allreduce
+#include <cstdio>
+
+#include "src/collective/collective.h"
+#include "src/net/fabric.h"
+#include "src/rdma/verbs.h"
+#include "src/sim/simulator.h"
+
+using namespace rdmadl;  // NOLINT: example brevity.
+
+int main() {
+  // 1. A simulated 4-host cluster, one RDMA NIC per host.
+  sim::Simulator simulator;
+  net::CostModel cost;
+  net::Fabric fabric(&simulator, cost, /*num_hosts=*/4);
+  rdma::RdmaFabric rdma_fabric(&fabric);
+  device::DeviceDirectory directory(&rdma_fabric);
+
+  // 2. A collective group: one rank per host, ring algorithm over zero-copy
+  //    RDMA. Creation allocates each rank's data buffer and receive ring
+  //    slots; remote addresses are exchanged lazily over MiniRPC on first use.
+  const uint64_t kElements = 1 << 20;  // 4 MB of float32 "gradients".
+  collective::CollectiveOptions options;
+  options.algorithm = collective::Algorithm::kRing;
+  options.transport = collective::Transport::kRdmaZeroCopy;
+  auto group_or = collective::CollectiveGroup::Create(&directory, {0, 1, 2, 3},
+                                                      kElements, options);
+  CHECK_OK(group_or.status());
+  auto group = std::move(group_or).value();
+
+  // 3. Rank r's gradient is all r+1's: the sum of 1+2+3+4 is 10 everywhere.
+  for (int r = 0; r < group->size(); ++r) {
+    float* data = group->data(r);
+    for (uint64_t i = 0; i < kElements; ++i) data[i] = static_cast<float>(r + 1);
+  }
+
+  // 4. Run the all-reduce. Everything is asynchronous inside the simulator;
+  //    Run() drains virtual time until the done callback fires.
+  Status status = Internal("all-reduce never completed");
+  group->AllReduce(kElements, [&](const Status& s) { status = s; });
+  CHECK_OK(simulator.Run());
+  CHECK_OK(status);
+
+  for (int r = 0; r < group->size(); ++r) {
+    const float* data = group->data(r);
+    for (uint64_t i = 0; i < kElements; ++i) CHECK(data[i] == 10.0f);
+  }
+  std::printf("all-reduce: every rank holds the exact sum (10.0 x %llu)\n",
+              static_cast<unsigned long long>(kElements));
+  std::printf("  virtual time: %.3f ms, bytes on the wire: %.1f MB, ring steps: %llu\n",
+              simulator.Now() / 1e6,
+              group->stats().bytes_sent / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(group->stats().ring_steps));
+
+  // 5. Broadcast rank 0's (reduced) buffer — a no-op here since all ranks
+  //    already agree, but it exercises the pipelined chain broadcast.
+  group->data(0)[0] = 42.0f;
+  status = Internal("broadcast never completed");
+  group->Broadcast(/*root=*/0, kElements, [&](const Status& s) { status = s; });
+  CHECK_OK(simulator.Run());
+  CHECK_OK(status);
+  for (int r = 0; r < group->size(); ++r) CHECK(group->data(r)[0] == 42.0f);
+  std::printf("broadcast: rank 0's update reached all %d ranks\n", group->size());
+  return 0;
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point: configure, build, run the test suite.
+# CI and humans both invoke this one script.
+#
+# Usage:
+#   scripts/check.sh              # plain RelWithDebInfo build + ctest
+#   scripts/check.sh --sanitize   # same, with ASan+UBSan (RDMADL_SANITIZE=ON)
+#
+# Environment:
+#   BUILD_DIR  override the build directory (default: build, or
+#              build-sanitize with --sanitize)
+#   JOBS       parallelism (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE=OFF
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) SANITIZE=ON ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "$SANITIZE" == ON ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+else
+  BUILD_DIR="${BUILD_DIR:-build}"
+fi
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . -DRDMADL_SANITIZE="$SANITIZE"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

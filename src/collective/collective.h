@@ -1,0 +1,217 @@
+// Collective communication over the RDMA device library (ISSUE 1).
+//
+// The paper evaluates its zero-copy tensor transfer only in the
+// parameter-server pattern (§3, Figure 3). This subsystem applies the same
+// static-placement idea (§3.2) to ring collectives: every landing zone a
+// collective will ever write — per-step ring slots, final chunk positions,
+// completion flag bytes — is preallocated and NIC-registered once at group
+// creation, and the addresses are distributed over the device library's
+// vanilla RPC (off the critical path). Every data movement on the critical
+// path is then a one-sided RdmaChannel::Memcpy write followed by a one-byte
+// flag write on the same QP; RC FIFO ordering plus ascending-address delivery
+// make the flag the last byte to land, so the receiver's poller observes
+// arrival exactly as in the paper's §3.2 protocol.
+//
+// Implemented collectives, all virtual-time state machines driven by the
+// simulation kernel:
+//
+//   ReduceScatter  — ring: N-1 steps; rank r ends owning the fully reduced
+//                    chunk r of the vector.
+//   AllGather      — ring: N-1 steps; every rank ends with every chunk.
+//   AllReduce      — their composition, fused per pipeline lane (a lane's
+//                    all-gather begins the moment its reduce-scatter ends; no
+//                    global barrier between phases).
+//   Broadcast      — chained ring pipeline from |root| (initial weight
+//                    distribution), segmented so hop k forwards segment j
+//                    while the root is still sending segment j+1.
+//
+// Chunked pipelining: the vector is split into |pipeline_depth| lanes that
+// run the ring independently and concurrently, so the egress link of a host
+// is transmitting one lane's chunk while the CPU reduces another's — links
+// stay busy across ring steps.
+//
+// Ablation knobs: |algorithm| switches the transfer schedule between the
+// bandwidth-optimal ring and a naive gather-to-root + scatter-from-root star
+// (the PS-shaped pattern); |transport| switches the same schedule between
+// zero-copy one-sided RDMA and a gRPC-over-TCP-style staged path (serialize +
+// TCP stream + deserialize per hop), so benchmarks can separate
+// algorithm-vs-transport effects.
+//
+// Memory fidelity follows the host runtime's two modes: with
+// |materialize| = true the buffers are real and collectives compute
+// bitwise-exact float sums (unit tests); with false the buffers are reserved,
+// never-dereferenced registered ranges (virtual-memory benchmark mode — an
+// 8-host 512 MB all-reduce does not materialize 4 GB), while flag bytes stay
+// real so the polling protocol always reads actual memory.
+#ifndef RDMADL_SRC_COLLECTIVE_COLLECTIVE_H_
+#define RDMADL_SRC_COLLECTIVE_COLLECTIVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/device/rdma_device.h"
+#include "src/util/status.h"
+
+namespace rdmadl {
+namespace collective {
+
+enum class Algorithm {
+  kRing,         // Bandwidth-optimal ring (reduce-scatter + all-gather).
+  kNaiveGather,  // Gather-to-root, reduce at root, scatter result (star).
+};
+
+enum class Transport {
+  kRdmaZeroCopy,  // One-sided writes into preallocated slots (§3.2 idiom).
+  kTcpStaging,    // gRPC-TCP-style: serialize + TCP stream + deserialize.
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+const char* TransportName(Transport transport);
+
+struct CollectiveOptions {
+  Algorithm algorithm = Algorithm::kRing;
+  Transport transport = Transport::kRdmaZeroCopy;
+  // Ring lanes that pipeline independently; slot memory scales with this.
+  int pipeline_depth = 4;
+  // Segments a Broadcast is chopped into for chained pipelining.
+  int broadcast_segments = 8;
+  // Port the group's per-rank devices bind on their hosts.
+  uint16_t port = 7100;
+  // Real payload memory (tests, examples) vs. virtual ranges (benchmarks).
+  bool materialize = true;
+  // Device-library parallelism for the group's devices.
+  int num_cqs = 2;
+  // Tracer track prefix for collective spans ("host0 ring[0]", ...).
+  std::string trace_prefix = "ring";
+};
+
+struct CollectiveStats {
+  int64_t allreduces = 0;
+  int64_t reduce_scatters = 0;
+  int64_t all_gathers = 0;
+  int64_t broadcasts = 0;
+  int64_t ring_steps = 0;    // Chunk transfers posted (any algorithm).
+  uint64_t bytes_sent = 0;   // Payload bytes put on the wire.
+  int64_t setup_rpcs = 0;    // Address-distribution calls (setup only).
+};
+
+using DoneCallback = std::function<void(const Status&)>;
+
+// A group of N ranks, one per listed host, each owning an RdmaDevice bound to
+// (host, options.port), a data buffer of |max_elements| floats, preallocated
+// ring slots, and an always-real flag block. The whole group lives in one
+// simulation; the public entry points drive all ranks' state machines in
+// virtual time and invoke |done| when the collective has completed on every
+// rank (or failed anywhere). One collective may be in flight at a time.
+class CollectiveGroup {
+ public:
+  static StatusOr<std::unique_ptr<CollectiveGroup>> Create(
+      device::DeviceDirectory* directory, const std::vector<int>& hosts,
+      uint64_t max_elements, CollectiveOptions options = {});
+  ~CollectiveGroup();
+
+  CollectiveGroup(const CollectiveGroup&) = delete;
+  CollectiveGroup& operator=(const CollectiveGroup&) = delete;
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+  uint64_t max_elements() const { return max_elements_; }
+  const CollectiveOptions& options() const { return options_; }
+  sim::Simulator* simulator() const;
+
+  // Rank r's local vector (|max_elements| floats). Null in virtual mode.
+  float* data(int rank) const;
+
+  // Element-wise sum over the first |count| elements of every rank's vector;
+  // on completion every rank holds the full sum.
+  void AllReduce(uint64_t count, DoneCallback done);
+
+  // Ring reduce-scatter: rank r ends owning the reduced chunk r (chunks are
+  // the near-equal N-way partition of [0, count)).
+  void ReduceScatter(uint64_t count, DoneCallback done);
+
+  // Ring all-gather: assumes rank r's chunk r is valid; every rank ends with
+  // all chunks.
+  void AllGather(uint64_t count, DoneCallback done);
+
+  // Pipelined chained broadcast of |root|'s first |count| elements.
+  void Broadcast(int root, uint64_t count, DoneCallback done);
+
+  bool busy() const { return op_ != nullptr; }
+  const CollectiveStats& stats() const { return stats_; }
+
+  // The N-way chunk partition used by ReduceScatter/AllGather/AllReduce
+  // (chunk c of a |count|-element vector): {offset, length} in elements.
+  std::pair<uint64_t, uint64_t> Chunk(uint64_t count, int c) const;
+
+ private:
+  struct Rank;
+  struct Op;
+  struct Waiter;
+
+  CollectiveGroup(device::DeviceDirectory* directory, uint64_t max_elements,
+                  CollectiveOptions options);
+
+  Status Init(const std::vector<int>& hosts);
+
+  // Validates and begins an op; |start| runs once address exchange is done.
+  void Begin(std::shared_ptr<Op> op, std::function<void()> start);
+  // Address distribution over the device library's vanilla RPC (§3.1), run
+  // lazily before the first collective.
+  void ExchangeAddresses(std::function<void()> then);
+  void Finish(const std::shared_ptr<Op>& op);
+  void Fail(const std::shared_ptr<Op>& op, const Status& status);
+  void FinishUnit(const std::shared_ptr<Op>& op);
+
+  // Posts one chunk: payload (if |bytes| > 0) then the 1-byte completion flag
+  // |flag_index| at |dst_rank|, over the configured transport.
+  void PostChunk(const std::shared_ptr<Op>& op, int src_rank, int dst_rank,
+                 int qp_lane, uint64_t local_addr, uint32_t local_lkey,
+                 uint64_t remote_addr, uint32_t remote_rkey, uint64_t bytes,
+                 int flag_index);
+
+  // Sequential flag poller: watches flag bytes [flag_base, flag_base +
+  // num_flags) at |rank| in order, invoking |on_arrival|(i, resume) for each;
+  // the handler calls resume() when the poller may advance (§4-style
+  // exponential-backoff polling).
+  void StartWaiter(const std::shared_ptr<Op>& op, int rank, int flag_base,
+                   int num_flags,
+                   std::function<void(int, std::function<void()>)> on_arrival);
+  void PollWaiter(std::shared_ptr<Op> op, std::shared_ptr<Waiter> waiter);
+
+  // Virtual reduce cost of folding |bytes| into an accumulator.
+  int64_t ReduceNs(uint64_t bytes) const;
+  const net::CostModel& cost() const;
+
+  // Algorithm entry points (ring_allreduce.cc, naive_allreduce.cc,
+  // broadcast.cc).
+  void StartRing(const std::shared_ptr<Op>& op, bool do_reduce_scatter,
+                 bool do_all_gather);
+  void StartNaiveGather(const std::shared_ptr<Op>& op);
+  void StartBroadcast(const std::shared_ptr<Op>& op);
+
+  const std::string& RankTrack(int rank) const;
+
+  device::DeviceDirectory* directory_;
+  uint64_t max_elements_;
+  CollectiveOptions options_;
+  CollectiveStats stats_;
+
+  uint64_t chunk_cap_elements_ = 0;  // Per-(lane, step) ring slot capacity.
+  uint64_t ring_slot_bytes_ = 0;     // Ring slot area per rank.
+  uint64_t naive_slot_offset_ = 0;   // Root gather parking starts here.
+  int flag_capacity_ = 0;            // Flag bytes per rank.
+  bool exchanged_ = false;
+  int pending_exchanges_ = 0;
+
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  mutable std::vector<std::string> rank_tracks_;
+  std::shared_ptr<Op> op_;
+};
+
+}  // namespace collective
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_COLLECTIVE_COLLECTIVE_H_

@@ -1,0 +1,526 @@
+// CollectiveGroup core: resource setup (buffers, registration, address
+// distribution), op lifecycle, the chunk-post primitive for both transports,
+// and the flag pollers. The algorithm schedules live in ring_allreduce.cc,
+// naive_allreduce.cc and broadcast.cc.
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+
+#include "src/collective/internal.h"
+#include "src/net/fabric.h"
+#include "src/sim/trace.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace collective {
+
+namespace {
+
+uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+int64_t CostNs(uint64_t bytes, double bytes_per_sec) {
+  return static_cast<int64_t>(static_cast<double>(bytes) / bytes_per_sec * 1e9);
+}
+
+// Virtual-mode address windows: each rank reserves a 1 TB window far above
+// the host runtime's windows (which sit at (index + 2) << 40); the data
+// buffer lives at the window base and the slot area 512 GB above it. The
+// addresses are registered with the NIC but never dereferenced.
+constexpr uint64_t kVirtualBase = 1ull << 56;
+constexpr uint64_t kVirtualWindowBytes = 1ull << 40;
+constexpr uint64_t kVirtualSlotOffset = 1ull << 39;
+uint64_t next_virtual_window = 0;
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kRing:
+      return "ring";
+    case Algorithm::kNaiveGather:
+      return "naive-gather";
+  }
+  return "unknown";
+}
+
+const char* TransportName(Transport transport) {
+  switch (transport) {
+    case Transport::kRdmaZeroCopy:
+      return "rdma-zerocopy";
+    case Transport::kTcpStaging:
+      return "tcp-staging";
+  }
+  return "unknown";
+}
+
+CollectiveGroup::CollectiveGroup(device::DeviceDirectory* directory, uint64_t max_elements,
+                                 CollectiveOptions options)
+    : directory_(directory), max_elements_(max_elements), options_(std::move(options)) {}
+
+CollectiveGroup::~CollectiveGroup() = default;
+
+StatusOr<std::unique_ptr<CollectiveGroup>> CollectiveGroup::Create(
+    device::DeviceDirectory* directory, const std::vector<int>& hosts, uint64_t max_elements,
+    CollectiveOptions options) {
+  if (hosts.empty()) {
+    return InvalidArgument("collective group needs at least one host");
+  }
+  if (max_elements == 0) {
+    return InvalidArgument("collective group max_elements must be positive");
+  }
+  const int num_hosts = directory->rdma_fabric()->fabric()->num_hosts();
+  std::unordered_set<int> seen;
+  for (int host : hosts) {
+    if (host < 0 || host >= num_hosts) {
+      return InvalidArgument(StrCat("host ", host, " outside fabric of ", num_hosts));
+    }
+    if (!seen.insert(host).second) {
+      return InvalidArgument(StrCat("host ", host, " listed twice in collective group"));
+    }
+  }
+  options.pipeline_depth = std::clamp(options.pipeline_depth, 1, 64);
+  options.broadcast_segments = std::clamp(options.broadcast_segments, 1, 256);
+  options.num_cqs = std::clamp(options.num_cqs, 1, 16);
+
+  std::unique_ptr<CollectiveGroup> group(
+      new CollectiveGroup(directory, max_elements, std::move(options)));
+  RDMADL_RETURN_IF_ERROR(group->Init(hosts));
+  return group;
+}
+
+Status CollectiveGroup::Init(const std::vector<int>& hosts) {
+  const int n = static_cast<int>(hosts.size());
+  const int lanes = options_.pipeline_depth;
+  const uint64_t data_bytes = max_elements_ * sizeof(float);
+
+  // Ring slot capacity is sized for the single-lane case (standalone
+  // reduce-scatter / all-gather run unpipelined so chunk c matches the public
+  // N-way partition); fused all-reduce lanes use strictly smaller chunks.
+  chunk_cap_elements_ = CeilDiv(max_elements_, static_cast<uint64_t>(n));
+  ring_slot_bytes_ = static_cast<uint64_t>(lanes) * (n > 1 ? n - 1 : 0) * chunk_cap_elements_ *
+                     sizeof(float);
+  naive_slot_offset_ = ring_slot_bytes_;
+
+  // One flag byte per expected arrival of the busiest op shape, rounded up so
+  // the block and its trailing constant source byte share one registration.
+  const int ring_flags = lanes * (n > 1 ? 2 * (n - 1) : 1);
+  flag_capacity_ = std::max({ring_flags, n, options_.broadcast_segments, 1});
+  flag_capacity_ = static_cast<int>(CeilDiv(flag_capacity_, 64) * 64);
+
+  const int num_qps = std::clamp(options_.pipeline_depth, 1, 4);
+  for (int i = 0; i < n; ++i) {
+    auto rank = std::make_unique<Rank>();
+    rank->index = i;
+    rank->endpoint = Endpoint{hosts[i], options_.port};
+    RDMADL_ASSIGN_OR_RETURN(
+        rank->device,
+        device::RdmaDevice::Create(directory_, options_.num_cqs, num_qps, rank->endpoint));
+
+    // Flags are always real: the poller reads actual bytes (§3.2), even when
+    // the payload buffers are virtual.
+    RDMADL_ASSIGN_OR_RETURN(rank->flag_region,
+                            rank->device->AllocateMemRegion(flag_capacity_ + 1));
+    std::memset(rank->flag_region.data(), 0, flag_capacity_ + 1);
+    rank->flag_region.data()[flag_capacity_] = 1;  // Constant flag source.
+
+    uint64_t slot_bytes = ring_slot_bytes_;
+    if (options_.algorithm == Algorithm::kNaiveGather && i == 0 && n > 1) {
+      slot_bytes += static_cast<uint64_t>(n - 1) * data_bytes;  // Gather parking.
+    }
+    rank->slot_bytes = slot_bytes;
+
+    uint32_t data_rkey = 0;
+    uint32_t slot_rkey = 0;
+    if (options_.materialize) {
+      RDMADL_ASSIGN_OR_RETURN(rank->data_region, rank->device->AllocateMemRegion(data_bytes));
+      rank->data_addr = reinterpret_cast<uint64_t>(rank->data_region.data());
+      rank->data_lkey = rank->data_region.lkey();
+      data_rkey = rank->data_region.rkey();
+      if (slot_bytes > 0) {
+        RDMADL_ASSIGN_OR_RETURN(rank->slot_region, rank->device->AllocateMemRegion(slot_bytes));
+        rank->slot_addr = reinterpret_cast<uint64_t>(rank->slot_region.data());
+        rank->slot_lkey = rank->slot_region.lkey();
+        slot_rkey = rank->slot_region.rkey();
+      }
+    } else {
+      const uint64_t window = kVirtualBase + (next_virtual_window++) * kVirtualWindowBytes;
+      rank->data_addr = window;
+      RDMADL_ASSIGN_OR_RETURN(
+          rdma::MemoryRegion data_mr,
+          rank->device->nic()->RegisterMemory(reinterpret_cast<void*>(window), data_bytes));
+      rank->data_lkey = data_mr.lkey;
+      data_rkey = data_mr.rkey;
+      rank->virtual_mrs.push_back(data_mr);
+      if (slot_bytes > 0) {
+        rank->slot_addr = window + kVirtualSlotOffset;
+        RDMADL_ASSIGN_OR_RETURN(rdma::MemoryRegion slot_mr,
+                                rank->device->nic()->RegisterMemory(
+                                    reinterpret_cast<void*>(rank->slot_addr), slot_bytes));
+        rank->slot_lkey = slot_mr.lkey;
+        slot_rkey = slot_mr.rkey;
+        rank->virtual_mrs.push_back(slot_mr);
+      }
+    }
+
+    rank->peers.resize(n);
+    rank->peers[i].data = device::RemoteRegion{rank->data_addr, data_rkey, data_bytes};
+    rank->peers[i].slots = device::RemoteRegion{rank->slot_addr, slot_rkey, slot_bytes};
+    rank->peers[i].flags = rank->flag_region.Remote();
+
+    // Address distribution (§3.1): peers fetch the three descriptors over the
+    // device library's vanilla RPC before the first collective.
+    Rank* self = rank.get();
+    rank->device->RegisterRpcHandler(
+        "collective/addrs", [self, i](const std::vector<uint8_t>&) {
+          std::vector<uint8_t> out;
+          self->peers[i].data.EncodeTo(&out);
+          self->peers[i].slots.EncodeTo(&out);
+          self->peers[i].flags.EncodeTo(&out);
+          return out;
+        });
+
+    ranks_.push_back(std::move(rank));
+  }
+
+  rank_tracks_.resize(n);
+  return OkStatus();
+}
+
+sim::Simulator* CollectiveGroup::simulator() const {
+  return directory_->rdma_fabric()->fabric()->simulator();
+}
+
+const net::CostModel& CollectiveGroup::cost() const {
+  return directory_->rdma_fabric()->fabric()->cost();
+}
+
+float* CollectiveGroup::data(int rank) const {
+  CHECK_GE(rank, 0);
+  CHECK_LT(rank, size());
+  return ranks_[rank]->data_ptr();
+}
+
+std::pair<uint64_t, uint64_t> CollectiveGroup::Chunk(uint64_t count, int c) const {
+  const uint64_t n = size();
+  const uint64_t base = count / n;
+  const uint64_t rem = count % n;
+  const uint64_t idx = static_cast<uint64_t>(c);
+  const uint64_t length = base + (idx < rem ? 1 : 0);
+  const uint64_t offset = idx * base + std::min<uint64_t>(idx, rem);
+  return {offset, length};
+}
+
+int64_t CollectiveGroup::ReduceNs(uint64_t bytes) const {
+  return CostNs(bytes, cost().reduce_bytes_per_sec);
+}
+
+const std::string& CollectiveGroup::RankTrack(int rank) const {
+  std::string& track = rank_tracks_[rank];
+  if (track.empty()) {
+    track = StrCat("host", ranks_[rank]->endpoint.host_id, " ", options_.trace_prefix, "[", rank,
+                   "]");
+  }
+  return track;
+}
+
+// ---------------------------------------------------------------------------
+// Op lifecycle.
+
+void CollectiveGroup::AllReduce(uint64_t count, DoneCallback done) {
+  auto op = std::make_shared<Op>();
+  op->kind = Op::Kind::kAllReduce;
+  op->count = count;
+  op->done = std::move(done);
+  Begin(op, [this, op] {
+    if (options_.algorithm == Algorithm::kNaiveGather) {
+      StartNaiveGather(op);
+    } else {
+      StartRing(op, /*do_reduce_scatter=*/true, /*do_all_gather=*/true);
+    }
+  });
+}
+
+void CollectiveGroup::ReduceScatter(uint64_t count, DoneCallback done) {
+  auto op = std::make_shared<Op>();
+  op->kind = Op::Kind::kReduceScatter;
+  op->count = count;
+  op->done = std::move(done);
+  Begin(op, [this, op] { StartRing(op, /*do_reduce_scatter=*/true, /*do_all_gather=*/false); });
+}
+
+void CollectiveGroup::AllGather(uint64_t count, DoneCallback done) {
+  auto op = std::make_shared<Op>();
+  op->kind = Op::Kind::kAllGather;
+  op->count = count;
+  op->done = std::move(done);
+  Begin(op, [this, op] { StartRing(op, /*do_reduce_scatter=*/false, /*do_all_gather=*/true); });
+}
+
+void CollectiveGroup::Broadcast(int root, uint64_t count, DoneCallback done) {
+  auto op = std::make_shared<Op>();
+  op->kind = Op::Kind::kBroadcast;
+  op->count = count;
+  op->root = root;
+  op->done = std::move(done);
+  if (root < 0 || root >= size()) {
+    simulator()->ScheduleAfter(0, [op, root] {
+      if (op->done) op->done(InvalidArgument(StrCat("broadcast root ", root, " out of range")));
+    });
+    return;
+  }
+  Begin(op, [this, op] { StartBroadcast(op); });
+}
+
+void CollectiveGroup::Begin(std::shared_ptr<Op> op, std::function<void()> start) {
+  sim::Simulator* sim = simulator();
+  if (op->count > max_elements_) {
+    sim->ScheduleAfter(0, [op] {
+      if (op->done) {
+        op->done(InvalidArgument(StrCat("collective of ", op->count,
+                                        " elements exceeds group capacity")));
+      }
+    });
+    return;
+  }
+  if (op_) {
+    sim->ScheduleAfter(0, [op] {
+      if (op->done) op->done(FailedPrecondition("another collective is already in flight"));
+    });
+    return;
+  }
+  op_ = op;
+  // Flags are single-use per op: each expected arrival has its own byte,
+  // written exactly once, so reset is the only bulk flag write and happens
+  // strictly before any chunk is posted.
+  for (const auto& rank : ranks_) {
+    std::memset(rank->flags(), 0, flag_capacity_);
+  }
+  if (op->count == 0 || size() == 1) {
+    sim->ScheduleAfter(0, [this, op, sim] {
+      op->start_ns = sim->Now();
+      Finish(op);
+    });
+    return;
+  }
+  auto begin = [this, op, sim, start = std::move(start)] {
+    if (op->finished) return;
+    op->start_ns = sim->Now();
+    start();
+  };
+  if (!exchanged_) {
+    ExchangeAddresses(std::move(begin));
+  } else {
+    sim->ScheduleAfter(0, std::move(begin));
+  }
+}
+
+void CollectiveGroup::ExchangeAddresses(std::function<void()> then) {
+  const int n = size();
+  pending_exchanges_ = n * (n - 1);
+  if (pending_exchanges_ == 0) {
+    exchanged_ = true;
+    then();
+    return;
+  }
+  auto shared_then = std::make_shared<std::function<void()>>(std::move(then));
+  for (int r = 0; r < n; ++r) {
+    for (int q = 0; q < n; ++q) {
+      if (q == r) continue;
+      Rank* self = ranks_[r].get();
+      stats_.setup_rpcs++;
+      self->device->Call(
+          ranks_[q]->endpoint, "collective/addrs", {},
+          [this, r, q, shared_then](const Status& status, const std::vector<uint8_t>& payload) {
+            if (!status.ok()) {
+              if (op_) Fail(op_, status);
+              return;
+            }
+            constexpr size_t kOne = device::RemoteRegion::kWireSize;
+            if (payload.size() < 3 * kOne) {
+              if (op_) Fail(op_, Internal("short collective/addrs response"));
+              return;
+            }
+            Rank::PeerAddrs& addrs = ranks_[r]->peers[q];
+            auto data = device::RemoteRegion::Decode(payload.data(), kOne);
+            auto slots = device::RemoteRegion::Decode(payload.data() + kOne, kOne);
+            auto flags = device::RemoteRegion::Decode(payload.data() + 2 * kOne, kOne);
+            if (!data.ok() || !slots.ok() || !flags.ok()) {
+              if (op_) Fail(op_, Internal("bad collective/addrs response"));
+              return;
+            }
+            addrs.data = *data;
+            addrs.slots = *slots;
+            addrs.flags = *flags;
+            if (--pending_exchanges_ == 0) {
+              exchanged_ = true;
+              (*shared_then)();
+            }
+          });
+    }
+  }
+}
+
+void CollectiveGroup::Finish(const std::shared_ptr<Op>& op) {
+  if (op->finished) return;
+  op->finished = true;
+  const int64_t now = simulator()->Now();
+  const char* name = "collective";
+  switch (op->kind) {
+    case Op::Kind::kAllReduce:
+      stats_.allreduces++;
+      name = "allreduce";
+      break;
+    case Op::Kind::kReduceScatter:
+      stats_.reduce_scatters++;
+      name = "reduce-scatter";
+      break;
+    case Op::Kind::kAllGather:
+      stats_.all_gathers++;
+      name = "all-gather";
+      break;
+    case Op::Kind::kBroadcast:
+      stats_.broadcasts++;
+      name = "broadcast";
+      break;
+  }
+  sim::TraceSpan("collective", StrCat(name, " ", op->count, " elems"), op->start_ns, now);
+  op_.reset();
+  if (op->done) op->done(OkStatus());
+}
+
+void CollectiveGroup::Fail(const std::shared_ptr<Op>& op, const Status& status) {
+  if (op->finished) return;
+  op->finished = true;
+  op->status = status;
+  op_.reset();
+  if (op->done) op->done(status);
+}
+
+void CollectiveGroup::FinishUnit(const std::shared_ptr<Op>& op) {
+  if (op->finished) return;
+  CHECK_GT(op->pending_units, 0);
+  if (--op->pending_units == 0) Finish(op);
+}
+
+// ---------------------------------------------------------------------------
+// Chunk post: payload then trailing flag, over either transport.
+
+void CollectiveGroup::PostChunk(const std::shared_ptr<Op>& op, int src_rank, int dst_rank,
+                                int qp_lane, uint64_t local_addr, uint32_t local_lkey,
+                                uint64_t remote_addr, uint32_t remote_rkey, uint64_t bytes,
+                                int flag_index) {
+  if (op->finished) return;
+  Rank* src = ranks_[src_rank].get();
+  Rank* dst = ranks_[dst_rank].get();
+  stats_.ring_steps++;
+  stats_.bytes_sent += bytes;
+
+  if (options_.transport == Transport::kRdmaZeroCopy) {
+    const int qp_idx = qp_lane % src->device->num_qps_per_peer();
+    auto channel_or = src->device->GetChannel(dst->endpoint, qp_idx);
+    if (!channel_or.ok()) {
+      Fail(op, channel_or.status());
+      return;
+    }
+    device::RdmaChannel* channel = *channel_or;
+    auto on_error = [this, op](const Status& status) {
+      if (!status.ok()) Fail(op, status);
+    };
+    if (bytes > 0) {
+      channel->Memcpy(reinterpret_cast<void*>(local_addr), local_lkey, remote_addr, remote_rkey,
+                      bytes, device::Direction::kLocalToRemote, on_error,
+                      /*copy_bytes=*/options_.materialize);
+    }
+    // The flag trails the payload on the same QP: RC FIFO ordering plus
+    // ascending-address delivery make it the last byte to land (§3.2). The
+    // 1-byte source is the constant at the tail of the flag block, so the
+    // delivery-time read can never observe a stale staging value.
+    const Rank::PeerAddrs& peer = src->peers[dst_rank];
+    channel->Memcpy(src->flags() + flag_capacity_, src->flag_region.lkey(),
+                    peer.flags.addr + flag_index, peer.flags.rkey, 1,
+                    device::Direction::kLocalToRemote, on_error, /*copy_bytes=*/true);
+    return;
+  }
+
+  // TCP staging path: gRPC-style dispatch + serialize on the sender, TCP
+  // stream on the wire, deserialize + staging copy into the destination on
+  // the receiver, then the receiver-side completion sets the flag byte. Same
+  // ring schedule, so benchmarks isolate the transport effect.
+  const net::CostModel& c = cost();
+  const int64_t sender_ns =
+      c.rpc_dispatch_overhead_ns + CostNs(bytes, c.serialize_bytes_per_sec);
+  const int64_t receiver_ns = CostNs(bytes, c.deserialize_bytes_per_sec) +
+                              CostNs(bytes, c.staging_memcpy_bytes_per_sec);
+  net::Fabric* fabric = directory_->rdma_fabric()->fabric();
+  const bool copy = options_.materialize && bytes > 0;
+  fabric->Transfer(
+      src->endpoint.host_id, dst->endpoint.host_id, std::max<uint64_t>(bytes, 1),
+      net::Plane::kTcp, sender_ns, nullptr,
+      [this, op, dst, local_addr, remote_addr, bytes, flag_index, receiver_ns, copy] {
+        if (op->finished) return;
+        simulator()->ScheduleAfter(receiver_ns, [op, dst, local_addr, remote_addr, bytes,
+                                                 flag_index, copy] {
+          if (op->finished) return;
+          if (copy) {
+            // Source values are read at delivery time; the schedules only
+            // ever post a chunk whose source is final (the causal chain that
+            // triggers any later write to it runs through this delivery).
+            std::memcpy(reinterpret_cast<void*>(remote_addr),
+                        reinterpret_cast<const void*>(local_addr), bytes);
+          }
+          dst->flags()[flag_index] = 1;
+        });
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Flag pollers.
+
+void CollectiveGroup::StartWaiter(const std::shared_ptr<Op>& op, int rank, int flag_base,
+                                  int num_flags,
+                                  std::function<void(int, std::function<void()>)> on_arrival) {
+  if (num_flags == 0) {
+    FinishUnit(op);
+    return;
+  }
+  auto waiter = std::make_shared<Waiter>();
+  waiter->rank = rank;
+  waiter->flag_base = flag_base;
+  waiter->num_flags = num_flags;
+  waiter->on_arrival = std::move(on_arrival);
+  simulator()->ScheduleAfter(cost().flag_poll_cost_ns,
+                             [this, op, waiter] { PollWaiter(op, waiter); });
+}
+
+void CollectiveGroup::PollWaiter(std::shared_ptr<Op> op, std::shared_ptr<Waiter> waiter) {
+  if (op->finished) return;
+  Rank* rank = ranks_[waiter->rank].get();
+  if (rank->flags()[waiter->flag_base + waiter->next] != 0) {
+    waiter->backoff_ns = 0;
+    const int index = waiter->next;
+    auto resume = [this, op, waiter] {
+      if (op->finished) return;
+      waiter->next++;
+      if (waiter->next == waiter->num_flags) {
+        FinishUnit(op);
+        return;
+      }
+      simulator()->ScheduleAfter(cost().flag_poll_cost_ns,
+                                 [this, op, waiter] { PollWaiter(op, waiter); });
+    };
+    waiter->on_arrival(index, std::move(resume));
+    return;
+  }
+  // Nothing yet: exponential backoff so an idle poller does not flood the
+  // event queue, resetting to the base interval on any progress.
+  waiter->backoff_ns = waiter->backoff_ns == 0
+                           ? cost().idle_poll_interval_ns
+                           : std::min(waiter->backoff_ns * 2, cost().idle_poll_max_interval_ns);
+  simulator()->ScheduleAfter(waiter->backoff_ns + cost().flag_poll_cost_ns,
+                             [this, op, waiter] { PollWaiter(op, waiter); });
+}
+
+}  // namespace collective
+}  // namespace rdmadl

@@ -1,0 +1,126 @@
+// Private state of CollectiveGroup, shared by the algorithm translation units
+// (collective_group.cc, ring_allreduce.cc, naive_allreduce.cc, broadcast.cc).
+// Not part of the public API.
+#ifndef RDMADL_SRC_COLLECTIVE_INTERNAL_H_
+#define RDMADL_SRC_COLLECTIVE_INTERNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/collective/collective.h"
+#include "src/device/rdma_device.h"
+
+namespace rdmadl {
+namespace collective {
+
+// Per-rank resources, all set up once at group creation (§3.2 static
+// placement: nothing on the collective critical path ever allocates or
+// registers memory).
+//
+// Buffer layout per rank (addresses are real pointers when materialized,
+// reserved never-dereferenced ranges otherwise):
+//   data   max_elements floats — the user's vector; all-gather writes land
+//          directly at their final offsets in here.
+//   slots  ring: lanes x (N-1) x chunk_cap slots — reduce-scatter step s of
+//          lane l lands in slot (l, s), so a sender running ahead can never
+//          overwrite a slot its successor has not consumed.
+//          naive: root only, N-1 x max_elements gather parking.
+//   flags  ALWAYS real memory (the poller reads actual bytes): one byte per
+//          expected arrival, written exactly once per op by the flag write
+//          that trails its payload on the same QP, plus one constant source
+//          byte (=1) at index |flag_capacity| that every flag write reads.
+struct CollectiveGroup::Rank {
+  int index = 0;
+  Endpoint endpoint;
+  std::unique_ptr<device::RdmaDevice> device;
+
+  // Data buffer.
+  uint64_t data_addr = 0;
+  uint32_t data_lkey = 0;
+  device::MemRegion data_region;  // Invalid in virtual mode.
+
+  // Ring / gather slots.
+  uint64_t slot_addr = 0;
+  uint64_t slot_bytes = 0;
+  uint32_t slot_lkey = 0;
+  device::MemRegion slot_region;  // Invalid in virtual mode.
+
+  // Virtual-mode registrations to drop on destruction.
+  std::vector<rdma::MemoryRegion> virtual_mrs;
+
+  // Flag block: flag_capacity bytes + 1 source byte.
+  device::MemRegion flag_region;
+
+  // What this rank knows about its peers after address distribution;
+  // indexed by rank (the self entry is filled locally).
+  struct PeerAddrs {
+    device::RemoteRegion data;
+    device::RemoteRegion slots;
+    device::RemoteRegion flags;
+  };
+  std::vector<PeerAddrs> peers;
+
+  float* data_ptr() const {
+    return data_region.valid() ? reinterpret_cast<float*>(data_region.data()) : nullptr;
+  }
+  uint8_t* slot_ptr() const { return slot_region.valid() ? slot_region.data() : nullptr; }
+  uint8_t* flags() const { return flag_region.data(); }
+  uint64_t slot_offset_addr(uint64_t offset) const { return slot_addr + offset; }
+
+  ~Rank() {
+    for (const rdma::MemoryRegion& mr : virtual_mrs) {
+      (void)device->nic()->DeregisterMemory(mr);
+    }
+  }
+};
+
+// One in-flight collective. Closures capture the op by shared_ptr so a
+// completion that races with teardown (e.g. after a failure finished the op
+// early) finds |finished| set and backs off instead of touching freed state.
+struct CollectiveGroup::Op {
+  enum class Kind { kAllReduce, kReduceScatter, kAllGather, kBroadcast };
+
+  Kind kind = Kind::kAllReduce;
+  uint64_t count = 0;  // Elements.
+  int root = 0;        // Broadcast only.
+  DoneCallback done;
+  int64_t start_ns = 0;
+
+  bool finished = false;
+  Status status;  // First failure, if any.
+
+  // Completion accounting: the op finishes when every unit (one per
+  // rank x lane for the ring, one per involved rank otherwise) is done.
+  int pending_units = 0;
+
+  // Lane partition of [0, count), in elements.
+  std::vector<uint64_t> lane_offset;
+  std::vector<uint64_t> lane_count;
+
+  // Naive gather: virtual time at which the root's reduce core frees up
+  // (arrivals reduce serially on one core).
+  int64_t root_cpu_free_ns = 0;
+  int naive_reduced = 0;
+};
+
+// A sequential flag poller: one per (rank, lane) for the ring, one per
+// expected arrival group otherwise. Watches its flag bytes in index order
+// with exponential backoff (§4: each idle retry is a discrete event, so the
+// interval backs off up to the max and resets on progress).
+struct CollectiveGroup::Waiter {
+  int rank = 0;
+  int flag_base = 0;
+  int num_flags = 0;
+  // handler(index, resume): performs the arrival's work (reduce, forward) and
+  // calls resume() when the poller may advance to the next flag.
+  std::function<void(int, std::function<void()>)> on_arrival;
+
+  int next = 0;            // Next expected flag, relative to |flag_base|.
+  int64_t backoff_ns = 0;  // Current idle retry interval (0 = fresh).
+};
+
+}  // namespace collective
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_COLLECTIVE_INTERNAL_H_

@@ -85,7 +85,8 @@ RemoteRegion MemRegion::Remote() const {
 }
 
 StatusOr<RemoteRegion> MemRegion::RemoteSlice(uint64_t offset, uint64_t length) const {
-  if (!impl_ || offset + length > impl_->size) {
+  // Overflow-safe: offset + length could wrap for adversarial offsets.
+  if (!impl_ || offset > impl_->size || length > impl_->size - offset) {
     return OutOfRange("RemoteSlice out of region bounds");
   }
   RemoteRegion r;

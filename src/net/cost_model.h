@@ -55,6 +55,9 @@ struct CostModel {
   // The RdmaSend staging copy (RDMA.cp path, §3.4): a single cold
   // tensor-sized memcpy on the op's own thread.
   double staging_memcpy_bytes_per_sec = 11.0e9;
+  // Element-wise reduction (gradient summation) throughput: a streaming
+  // read-read-write float-add loop, roughly memcpy-bound on one core.
+  double reduce_bytes_per_sec = 20.0e9;
   // Protobuf-style serialization / deserialization throughput for tensor
   // payloads (gRPC baselines only; the zero-copy path never serializes).
   double serialize_bytes_per_sec = 8.5e9;

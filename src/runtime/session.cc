@@ -4,6 +4,7 @@
 
 #include "src/analyzer/shape_inference.h"
 #include "src/ops/kernel.h"
+#include "src/sim/trace.h"
 #include "src/util/strings.h"
 
 namespace rdmadl {
@@ -109,6 +110,8 @@ Status DistributedSession::RunStep(const std::unordered_map<std::string, tensor:
   RDMADL_RETURN_IF_ERROR(step_status);
   ++steps_run_;
   last_step_duration_ns_ = cluster_->simulator()->Now() - start;
+  sim::TraceSpan("session", StrCat("step ", steps_run_ - 1), start,
+                 cluster_->simulator()->Now());
   return OkStatus();
 }
 

@@ -1,5 +1,6 @@
 #include "src/sim/trace.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -27,15 +28,44 @@ int Tracer::TidFor(const std::string& track) {
 
 namespace {
 
-// Minimal JSON string escaping for event/track names.
+// JSON string escaping for event/track names: quotes, backslashes and every
+// control character (RFC 8259 requires escaping U+0000..U+001F; a raw newline
+// or tab in a track name would corrupt the trace file).
 std::string Escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
     }
-    out.push_back(c);
   }
   return out;
 }
@@ -43,16 +73,11 @@ std::string Escape(const std::string& s) {
 }  // namespace
 
 std::string Tracer::ToJson() const {
-  // TidFor mutates the map; build a local copy of assignments first.
+  // TidFor mutates the tid map; serialization assigns tids on first use.
   Tracer* self = const_cast<Tracer*>(this);
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
   bool first = true;
-  for (const auto& [track, tid] : tids_) {
-    // Pre-seeded by the loop below on first serialization; harmless.
-    (void)track;
-    (void)tid;
-  }
   for (const Event& event : events_) {
     if (!first) os << ",\n";
     first = false;

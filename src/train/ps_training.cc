@@ -15,6 +15,16 @@ using models::ModelSpec;
 using models::VariableSpec;
 using tensor::TensorShape;
 
+const char* TrainingModeName(TrainingMode mode) {
+  switch (mode) {
+    case TrainingMode::kParameterServer:
+      return "parameter-server";
+    case TrainingMode::kAllReduce:
+      return "all-reduce";
+  }
+  return "?";
+}
+
 const char* MechanismName(MechanismKind kind) {
   switch (kind) {
     case MechanismKind::kGrpcTcp:
@@ -41,6 +51,117 @@ constexpr double kForwardFraction = 1.0 / 3.0;
 constexpr double kPsApplyBytesPerSec = 20.0e9;
 constexpr double kGpuApplyBytesPerSec = 300.0e9;
 
+// A variable (shard) node and the device it lives on.
+struct VarNode {
+  Node* node;
+  std::string device;
+};
+
+// Builds worker |w|'s replica — synthetic input, forward chain, backward
+// chain with one gradient tensor per variable (shard), and an ApplySgd on
+// each variable's own device — against the given variable placement. Shared
+// by the parameter-server and all-reduce graph builders, which differ only in
+// where the variables live.
+Status BuildReplica(const ModelSpec& model, int w, int batch_size,
+                    const std::vector<std::vector<VarNode>>& layer_vars,
+                    double apply_bytes_per_sec, Graph* graph) {
+  const double per_sample_ns = model.per_sample_time_ms * 1e6;
+  const std::string dev = StrCat("worker:", w);
+  auto name = [&](const std::string& suffix) { return StrCat("w", w, "/", suffix); };
+
+  // Synthetic input (generated on the fly, §5.2 — no disk loading).
+  RDMADL_ASSIGN_OR_RETURN(Node * input,
+                          graph->AddNode(name("input"), "SimOp", std::vector<Node*>{}));
+  input->SetAttr("shape", TensorShape{batch_size, model.input_dim});
+  input->set_device(dev);
+
+  // Forward chain. For recurrent models the very first unrolled time step
+  // already touches every gate's weights, so forward compute cannot begin
+  // until all recurrent weights have arrived (the softmax layer is outside
+  // the recurrence).
+  std::vector<Node*> activations;
+  Node* prev = input;
+  for (size_t l = 0; l < model.layers.size(); ++l) {
+    const LayerSpec& layer = model.layers[l];
+    std::vector<Node*> inputs{prev};
+    for (const VarNode& var : layer_vars[l]) inputs.push_back(var.node);
+    if (model.recurrent && l == 0) {
+      for (size_t other = 1; other + 1 < model.layers.size(); ++other) {
+        for (const VarNode& var : layer_vars[other]) inputs.push_back(var.node);
+      }
+    }
+    RDMADL_ASSIGN_OR_RETURN(Node * fwd,
+                            graph->AddNode(name(StrCat("fwd/", layer.name)), "SimOp", inputs));
+    fwd->SetAttr("shape", TensorShape{batch_size, layer.activation_dim});
+    fwd->SetAttr("cost_ns", per_sample_ns * layer.cost_share * kForwardFraction);
+    fwd->set_device(dev);
+    activations.push_back(fwd);
+    prev = fwd;
+  }
+
+  // Loss gradient seed.
+  RDMADL_ASSIGN_OR_RETURN(Node * d_top,
+                          graph->AddNode(name("bwd/top"), "SimOp", std::vector<Node*>{prev}));
+  d_top->SetAttr("shape", TensorShape{batch_size, model.layers.back().activation_dim});
+  d_top->set_device(dev);
+
+  // Backward chain: one gradient tensor per variable, plus the activation
+  // gradient flowing to the previous layer. For recurrent models every
+  // gradient accumulates over all unrolled time steps (BPTT), so grad
+  // tensors only materialize once the whole backward chain has finished —
+  // gradient sends then cannot overlap backward compute, matching real RNN
+  // training. For feed-forward models gradients stream out layer by layer.
+  Node* d_act = d_top;
+  Node* bwd_tail = nullptr;
+  std::vector<std::pair<Node*, const VarNode*>> deferred_grads;
+  for (int l = static_cast<int>(model.layers.size()) - 1; l >= 0; --l) {
+    const LayerSpec& layer = model.layers[l];
+    Node* below = (l > 0) ? activations[l - 1] : input;
+    const double layer_bwd_ns = per_sample_ns * layer.cost_share * (1.0 - kForwardFraction);
+    const double per_grad_ns = layer_bwd_ns / (layer_vars[l].size() + 1);
+
+    for (size_t v = 0; v < layer_vars[l].size(); ++v) {
+      const VarNode& var = layer_vars[l][v];
+      std::vector<Node*> grad_inputs{d_act, below};
+      RDMADL_ASSIGN_OR_RETURN(
+          Node * grad,
+          graph->AddNode(name(StrCat("grad/", var.node->name())), "SimOp", grad_inputs));
+      if (model.recurrent) deferred_grads.emplace_back(grad, &var);
+      grad->SetAttr("shape", var.node->GetAttr<TensorShape>("shape"));
+      grad->SetAttr("cost_ns", per_grad_ns);
+      grad->set_device(dev);
+
+      // The variable's owner applies this worker's gradient in place.
+      RDMADL_ASSIGN_OR_RETURN(
+          Node * apply, graph->AddNode(name(StrCat("apply/", var.node->name())), "ApplySgd",
+                                       std::vector<Node*>{var.node, grad}));
+      apply->SetAttr("learning_rate", 0.01);
+      apply->SetAttr("cost_ns",
+                     static_cast<double>(
+                         var.node->GetAttr<TensorShape>("shape").num_elements()) *
+                         4.0 / apply_bytes_per_sec * 1e9);
+      apply->set_device(var.device);
+    }
+    if (l > 0) {
+      std::vector<Node*> dx_inputs{d_act};
+      for (const VarNode& var : layer_vars[l]) dx_inputs.push_back(var.node);
+      RDMADL_ASSIGN_OR_RETURN(
+          Node * dx, graph->AddNode(name(StrCat("bwd/", layer.name)), "SimOp", dx_inputs));
+      dx->SetAttr("shape", TensorShape{batch_size, model.layers[l - 1].activation_dim});
+      dx->SetAttr("cost_ns", per_grad_ns);
+      dx->set_device(dev);
+      d_act = dx;
+      bwd_tail = dx;
+    }
+  }
+  if (model.recurrent && bwd_tail != nullptr) {
+    for (auto& [grad, var] : deferred_grads) {
+      RDMADL_RETURN_IF_ERROR(graph->AddControlEdge(bwd_tail, grad));
+    }
+  }
+  return OkStatus();
+}
+
 }  // namespace
 
 // Variables larger than this are partitioned across parameter servers, as
@@ -53,15 +174,10 @@ Status BuildDataParallelGraph(const ModelSpec& model, int num_workers, int num_p
   if (num_workers < 1 || num_ps < 1 || batch_size < 1) {
     return InvalidArgument("workers, ps and batch size must be positive");
   }
-  const double per_sample_ns = model.per_sample_time_ms * 1e6;
 
   // Variables, sharded round-robin across parameter servers (§5: "variable
   // tensors ... are placed in parameter servers in a round-robin fashion"),
   // with oversized variables partitioned into <= 64 MB slices.
-  struct VarNode {
-    Node* node;
-    std::string device;
-  };
   std::vector<std::vector<VarNode>> layer_vars(model.layers.size());
   int var_index = 0;
   for (size_t l = 0; l < model.layers.size(); ++l) {
@@ -96,104 +212,38 @@ Status BuildDataParallelGraph(const ModelSpec& model, int num_workers, int num_p
 
   const int replicas = local_only ? 1 : num_workers;
   for (int w = 0; w < replicas; ++w) {
+    RDMADL_RETURN_IF_ERROR(
+        BuildReplica(model, w, batch_size, layer_vars,
+                     local_only ? kGpuApplyBytesPerSec : kPsApplyBytesPerSec, graph));
+  }
+  return OkStatus();
+}
+
+Status BuildAllReduceGraph(const ModelSpec& model, int num_workers, int batch_size,
+                           Graph* graph) {
+  if (num_workers < 1 || batch_size < 1) {
+    return InvalidArgument("workers and batch size must be positive");
+  }
+  // Every worker holds a private, unsharded replica of every variable and
+  // applies SGD to it locally at GPU rates; the cross-worker gradient sum is
+  // the driver's collective all-reduce, outside the graph.
+  for (int w = 0; w < num_workers; ++w) {
     const std::string dev = StrCat("worker:", w);
-    auto name = [&](const std::string& suffix) { return StrCat("w", w, "/", suffix); };
-
-    // Synthetic input (generated on the fly, §5.2 — no disk loading).
-    RDMADL_ASSIGN_OR_RETURN(Node * input,
-                            graph->AddNode(name("input"), "SimOp", std::vector<Node*>{}));
-    input->SetAttr("shape", TensorShape{batch_size, model.input_dim});
-    input->set_device(dev);
-
-    // Forward chain. For recurrent models the very first unrolled time step
-    // already touches every gate's weights, so forward compute cannot begin
-    // until all recurrent weights have arrived (the softmax layer is outside
-    // the recurrence).
-    std::vector<Node*> activations;
-    Node* prev = input;
+    std::vector<std::vector<VarNode>> layer_vars(model.layers.size());
     for (size_t l = 0; l < model.layers.size(); ++l) {
-      const LayerSpec& layer = model.layers[l];
-      std::vector<Node*> inputs{prev};
-      for (const VarNode& var : layer_vars[l]) inputs.push_back(var.node);
-      if (model.recurrent && l == 0) {
-        for (size_t other = 1; other + 1 < model.layers.size(); ++other) {
-          for (const VarNode& var : layer_vars[other]) inputs.push_back(var.node);
-        }
-      }
-      RDMADL_ASSIGN_OR_RETURN(
-          Node * fwd, graph->AddNode(name(StrCat("fwd/", layer.name)), "SimOp", inputs));
-      fwd->SetAttr("shape", TensorShape{batch_size, layer.activation_dim});
-      fwd->SetAttr("cost_ns", per_sample_ns * layer.cost_share * kForwardFraction);
-      fwd->set_device(dev);
-      activations.push_back(fwd);
-      prev = fwd;
-    }
-
-    // Loss gradient seed.
-    RDMADL_ASSIGN_OR_RETURN(Node * d_top, graph->AddNode(name("bwd/top"), "SimOp",
-                                                         std::vector<Node*>{prev}));
-    d_top->SetAttr("shape", TensorShape{batch_size, model.layers.back().activation_dim});
-    d_top->set_device(dev);
-
-    // Backward chain: one gradient tensor per variable, plus the activation
-    // gradient flowing to the previous layer. For recurrent models every
-    // gradient accumulates over all unrolled time steps (BPTT), so grad
-    // tensors only materialize once the whole backward chain has finished —
-    // gradient sends then cannot overlap backward compute, matching real RNN
-    // training. For feed-forward models gradients stream out layer by layer.
-    Node* d_act = d_top;
-    Node* bwd_tail = nullptr;
-    std::vector<std::pair<Node*, const VarNode*>> deferred_grads;
-    for (int l = static_cast<int>(model.layers.size()) - 1; l >= 0; --l) {
-      const LayerSpec& layer = model.layers[l];
-      Node* below = (l > 0) ? activations[l - 1] : input;
-      const double layer_bwd_ns =
-          per_sample_ns * layer.cost_share * (1.0 - kForwardFraction);
-      const double per_grad_ns = layer_bwd_ns / (layer_vars[l].size() + 1);
-
-      for (size_t v = 0; v < layer_vars[l].size(); ++v) {
-        const VarNode& var = layer_vars[l][v];
-        std::vector<Node*> grad_inputs{d_act, below};
+      for (const VariableSpec& var : model.layers[l].vars) {
         RDMADL_ASSIGN_OR_RETURN(
-            Node * grad,
-            graph->AddNode(name(StrCat("grad/", var.node->name())), "SimOp",
-                           grad_inputs));
-        if (model.recurrent) deferred_grads.emplace_back(grad, &var);
-        grad->SetAttr("shape", var.node->GetAttr<TensorShape>("shape"));
-        grad->SetAttr("cost_ns", per_grad_ns);
-        grad->set_device(dev);
-
-        // The owning PS applies this worker's gradient in place.
-        RDMADL_ASSIGN_OR_RETURN(
-            Node * apply,
-            graph->AddNode(name(StrCat("apply/", var.node->name())), "ApplySgd",
-                           std::vector<Node*>{var.node, grad}));
-        apply->SetAttr("learning_rate", 0.01);
-        apply->SetAttr("cost_ns",
-                       static_cast<double>(var.node->GetAttr<TensorShape>("shape")
-                                               .num_elements()) *
-                           4.0 /
-                           (local_only ? kGpuApplyBytesPerSec : kPsApplyBytesPerSec) * 1e9);
-        apply->set_device(var.device);
-      }
-      if (l > 0) {
-        std::vector<Node*> dx_inputs{d_act};
-        for (const VarNode& var : layer_vars[l]) dx_inputs.push_back(var.node);
-        RDMADL_ASSIGN_OR_RETURN(
-            Node * dx, graph->AddNode(name(StrCat("bwd/", layer.name)), "SimOp", dx_inputs));
-        dx->SetAttr("shape",
-                    TensorShape{batch_size, model.layers[l - 1].activation_dim});
-        dx->SetAttr("cost_ns", per_grad_ns);
-        dx->set_device(dev);
-        d_act = dx;
-        bwd_tail = dx;
+            Node * node, graph->AddNode(StrCat("w", w, "/var/", var.name), "Variable",
+                                        std::vector<Node*>{}));
+        node->SetAttr("shape",
+                      TensorShape{static_cast<int64_t>(var.shape.num_elements())});
+        node->SetAttr("init", std::string("zeros"));
+        node->set_device(dev);
+        layer_vars[l].push_back(VarNode{node, dev});
       }
     }
-    if (model.recurrent && bwd_tail != nullptr) {
-      for (auto& [grad, var] : deferred_grads) {
-        RDMADL_RETURN_IF_ERROR(graph->AddControlEdge(bwd_tail, grad));
-      }
-    }
+    RDMADL_RETURN_IF_ERROR(
+        BuildReplica(model, w, batch_size, layer_vars, kGpuApplyBytesPerSec, graph));
   }
   return OkStatus();
 }
@@ -214,17 +264,23 @@ Status TrainingDriver::Initialize(int warmup_steps) {
   cluster_options.worker_gpudirect = config_.gpudirect;
   cluster_ = std::make_unique<runtime::Cluster>(cluster_options);
 
+  const bool all_reduce = config_.mode == TrainingMode::kAllReduce && !config_.local_only;
   for (int m = 0; m < config_.num_machines; ++m) {
     RDMADL_RETURN_IF_ERROR(cluster_->AddProcess(StrCat("worker:", m), m).status());
-    if (!config_.local_only) {
+    if (!config_.local_only && !all_reduce) {
       RDMADL_RETURN_IF_ERROR(cluster_->AddProcess(StrCat("ps:", m), m).status());
     }
   }
 
   graph_ = std::make_unique<Graph>();
-  RDMADL_RETURN_IF_ERROR(BuildDataParallelGraph(config_.model, config_.num_machines,
-                                                config_.num_machines, config_.batch_size,
-                                                config_.local_only, graph_.get()));
+  if (all_reduce) {
+    RDMADL_RETURN_IF_ERROR(BuildAllReduceGraph(config_.model, config_.num_machines,
+                                               config_.batch_size, graph_.get()));
+  } else {
+    RDMADL_RETURN_IF_ERROR(BuildDataParallelGraph(config_.model, config_.num_machines,
+                                                  config_.num_machines, config_.batch_size,
+                                                  config_.local_only, graph_.get()));
+  }
 
   switch (config_.mechanism) {
     case MechanismKind::kGrpcTcp:
@@ -259,17 +315,52 @@ Status TrainingDriver::Initialize(int warmup_steps) {
   session_ = std::make_unique<runtime::DistributedSession>(cluster_.get(), mechanism_,
                                                            graph_.get(), session_options);
   RDMADL_RETURN_IF_ERROR(session_->Setup());
+
+  if (all_reduce) {
+    allreduce_elements_ = config_.model.TotalParamBytes() / sizeof(float);
+    std::vector<int> hosts(config_.num_machines);
+    for (int m = 0; m < config_.num_machines; ++m) hosts[m] = m;
+    collective::CollectiveOptions copts;
+    copts.algorithm = config_.collective_algorithm;
+    copts.transport = config_.mechanism == MechanismKind::kGrpcTcp
+                          ? collective::Transport::kTcpStaging
+                          : collective::Transport::kRdmaZeroCopy;
+    copts.pipeline_depth = config_.collective_pipeline_depth;
+    copts.materialize = false;  // Virtual gradient buffers: timing only.
+    copts.num_cqs = config_.num_cqs;
+    RDMADL_ASSIGN_OR_RETURN(
+        collective_, collective::CollectiveGroup::Create(
+                         cluster_->directory(), hosts,
+                         std::max<uint64_t>(allreduce_elements_, 1), copts));
+  }
+
   for (int i = 0; i < warmup_steps; ++i) {
-    RDMADL_RETURN_IF_ERROR(session_->RunStep());
+    RDMADL_RETURN_IF_ERROR(RunStep());
   }
   return OkStatus();
+}
+
+Status TrainingDriver::RunStep() {
+  RDMADL_RETURN_IF_ERROR(session_->RunStep());
+  if (collective_ == nullptr) return OkStatus();
+  // Conservative bound: the all-reduce starts only after the whole compute
+  // step (including local SGD applies) has finished.
+  bool done = false;
+  Status reduce_status;
+  collective_->AllReduce(allreduce_elements_, [&](const Status& s) {
+    reduce_status = s;
+    done = true;
+  });
+  RDMADL_RETURN_IF_ERROR(
+      cluster_->simulator()->RunUntilPredicate([&] { return done; }));
+  return reduce_status;
 }
 
 StatusOr<double> TrainingDriver::MeasureStepTimeMs(int steps) {
   CHECK_GT(steps, 0);
   const int64_t start = cluster_->simulator()->Now();
   for (int i = 0; i < steps; ++i) {
-    RDMADL_RETURN_IF_ERROR(session_->RunStep());
+    RDMADL_RETURN_IF_ERROR(RunStep());
   }
   const int64_t elapsed = cluster_->simulator()->Now() - start;
   return static_cast<double>(elapsed) / steps / 1e6;

@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "src/collective/collective.h"
 #include "src/comm/rpc_mechanism.h"
 #include "src/comm/zerocopy_mechanism.h"
 #include "src/models/model_spec.h"
@@ -34,11 +35,27 @@ enum class MechanismKind {
 
 const char* MechanismName(MechanismKind kind);
 
+// How gradients are aggregated across machines.
+enum class TrainingMode {
+  kParameterServer,  // Figure 3: weights/gradients ship worker <-> PS.
+  kAllReduce,        // Data-parallel SGD with a gradient ring all-reduce.
+};
+
+const char* TrainingModeName(TrainingMode mode);
+
 struct TrainingConfig {
   models::ModelSpec model;
   int num_machines = 8;  // Each runs one worker + one PS process (§5).
   int batch_size = 32;   // Per-worker mini-batch.
   MechanismKind mechanism = MechanismKind::kRdmaZeroCopy;
+  // kAllReduce drops the PS processes: every worker holds a full replica of
+  // the variables and the per-step gradients are summed with a collective
+  // all-reduce (ring or naive, over zero-copy RDMA or TCP staging depending
+  // on |mechanism|). The collective is modeled back-to-back with the compute
+  // step — a conservative bound that does not overlap it with backprop.
+  TrainingMode mode = TrainingMode::kParameterServer;
+  collective::Algorithm collective_algorithm = collective::Algorithm::kRing;
+  int collective_pipeline_depth = 4;
   // Local mode: the whole graph on one worker, no PS, no communication (the
   // "Local" line of Figure 11).
   bool local_only = false;
@@ -57,6 +74,13 @@ struct TrainingConfig {
 Status BuildDataParallelGraph(const models::ModelSpec& model, int num_workers, int num_ps,
                               int batch_size, bool local_only, graph::Graph* graph);
 
+// All-reduce variant: every worker holds its own replica of all variables and
+// applies SGD locally (at GPU rates); there are no parameter servers and no
+// cross-device edges. Gradient aggregation is the TrainingDriver's collective
+// all-reduce, not part of the graph.
+Status BuildAllReduceGraph(const models::ModelSpec& model, int num_workers, int batch_size,
+                           graph::Graph* graph);
+
 class TrainingDriver {
  public:
   explicit TrainingDriver(TrainingConfig config);
@@ -65,6 +89,10 @@ class TrainingDriver {
   // Builds the cluster, graph and session; runs mechanism setup and warm-up
   // steps (step 0 is the zero-copy mechanism's allocation-tracing step).
   Status Initialize(int warmup_steps = 2);
+
+  // One training step: a session step, plus (in kAllReduce mode) the gradient
+  // all-reduce of every parameter element.
+  Status RunStep();
 
   // Runs |steps| steps and returns the mean virtual step time in ms.
   StatusOr<double> MeasureStepTimeMs(int steps);
@@ -78,6 +106,8 @@ class TrainingDriver {
   // Non-null when the mechanism is one of the RDMA zero-copy family.
   const comm::ZeroCopyRdmaMechanism* zerocopy_mechanism() const { return zerocopy_.get(); }
   const comm::RpcMechanism* rpc_mechanism() const { return rpc_.get(); }
+  // Non-null in kAllReduce mode (after Initialize).
+  collective::CollectiveGroup* collective() { return collective_.get(); }
 
  private:
   TrainingConfig config_;
@@ -87,6 +117,8 @@ class TrainingDriver {
   std::unique_ptr<comm::RpcMechanism> rpc_;
   runtime::TransferMechanism* mechanism_ = nullptr;
   std::unique_ptr<runtime::DistributedSession> session_;
+  std::unique_ptr<collective::CollectiveGroup> collective_;
+  uint64_t allreduce_elements_ = 0;  // Gradient elements summed per step.
 };
 
 }  // namespace train

@@ -86,6 +86,33 @@ TEST_F(DeviceTest, RemoteSliceBoundsChecked) {
   EXPECT_TRUE(region->RemoteSlice(0, 1000).ok());
   EXPECT_TRUE(region->RemoteSlice(500, 500).ok());
   EXPECT_FALSE(region->RemoteSlice(500, 501).ok());
+  EXPECT_FALSE(region->RemoteSlice(1000, 1).ok());
+  EXPECT_TRUE(region->RemoteSlice(1000, 0).ok());  // Empty slice at the end.
+}
+
+TEST_F(DeviceTest, RemoteSliceRejectsOverflowingOffsets) {
+  // offset + length must not wrap around uint64 and sneak past the bounds
+  // check.
+  auto dev = MakeDevice(0, 7000);
+  auto region = dev->AllocateMemRegion(1000);
+  ASSERT_TRUE(region.ok());
+  EXPECT_FALSE(region->RemoteSlice(UINT64_MAX, 1).ok());
+  EXPECT_FALSE(region->RemoteSlice(UINT64_MAX, UINT64_MAX).ok());
+  EXPECT_FALSE(region->RemoteSlice(1, UINT64_MAX).ok());
+  EXPECT_FALSE(region->RemoteSlice(UINT64_MAX - 500, 501).ok());
+}
+
+TEST_F(DeviceTest, RemoteRegionDecodeRejectsTruncatedBuffers) {
+  auto dev = MakeDevice(0, 7000);
+  auto region = dev->AllocateMemRegion(4096);
+  ASSERT_TRUE(region.ok());
+  std::vector<uint8_t> wire;
+  region->Remote().EncodeTo(&wire);
+  ASSERT_EQ(wire.size(), RemoteRegion::kWireSize);
+  for (size_t len = 0; len < RemoteRegion::kWireSize; ++len) {
+    EXPECT_FALSE(RemoteRegion::Decode(wire.data(), len).ok()) << "len=" << len;
+  }
+  EXPECT_FALSE(RemoteRegion::Decode(nullptr, 0).ok());
 }
 
 TEST_F(DeviceTest, GetChannelValidatesIndexAndPeer) {

@@ -31,6 +31,19 @@ TEST(TracerTest, EscapesNames) {
   EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
 }
 
+TEST(TracerTest, EscapesControlCharacters) {
+  // RFC 8259: all control characters below 0x20 must be escaped, not emitted
+  // raw — a raw newline or tab in a span name breaks chrome://tracing.
+  Tracer tracer;
+  tracer.AddInstant("t", std::string("a\nb\tc\rd\x01") + "e\x1f" + "f", 0);
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("a\\nb\\tc\\rd\\u0001e\\u001ff"), std::string::npos);
+  // No raw control bytes survive anywhere in the output.
+  for (char c : json) {
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n') << static_cast<int>(c);
+  }
+}
+
 TEST(TracerTest, HelpersNoOpWithoutInstall) {
   Tracer::Install(nullptr);
   TraceSpan("t", "x", 0, 1);  // Must not crash.

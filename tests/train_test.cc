@@ -173,6 +173,40 @@ TEST(TrainingDriverTest, GpuDirectReducesStepTime) {
   EXPECT_LT(with_gdr, without_gdr);
 }
 
+TEST(BuildGraphTest, AllReduceGraphHasPerWorkerReplicasAndNoPs) {
+  ModelSpec model = models::Fcn5();
+  graph::Graph graph;
+  ASSERT_TRUE(BuildAllReduceGraph(model, 2, 8, &graph).ok());
+  int variables = 0, applies = 0;
+  for (const auto& node : graph.nodes()) {
+    // Everything lives on a worker — no PS devices, no cross-device edges.
+    EXPECT_EQ(node->device().rfind("worker:", 0), 0u) << node->device();
+    if (node->op() == "Variable") ++variables;
+    if (node->op() == "ApplySgd") ++applies;
+  }
+  // Each worker holds its own replica of all 10 variables and applies locally.
+  EXPECT_EQ(variables, 2 * 10);
+  EXPECT_EQ(applies, 2 * 10);
+}
+
+TEST(TrainingDriverTest, AllReduceModeSmokeTest) {
+  TrainingConfig config;
+  config.model = models::Fcn5();
+  config.num_machines = 2;
+  config.batch_size = 8;
+  config.mechanism = MechanismKind::kRdmaZeroCopy;
+  config.mode = TrainingMode::kAllReduce;
+  TrainingDriver driver(config);
+  ASSERT_TRUE(driver.Initialize().ok());
+  ASSERT_NE(driver.collective(), nullptr);
+  auto ms = driver.MeasureStepTimeMs(3);
+  ASSERT_TRUE(ms.ok()) << ms.status();
+  EXPECT_GT(*ms, 1.0);
+  EXPECT_LT(*ms, 10'000);
+  // One all-reduce per step: 2 warmups + 3 measured.
+  EXPECT_EQ(driver.collective()->stats().allreduces, 5u);
+}
+
 TEST(TrainingDriverTest, GrpcRdmaFailsOnSentenceEmbedding) {
   // Figure 10(c): no gRPC.RDMA curve because TF crashed on the >1 GB tensor.
   TrainingConfig config;
