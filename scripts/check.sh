@@ -3,32 +3,65 @@
 # CI and humans both invoke this one script.
 #
 # Usage:
-#   scripts/check.sh              # plain RelWithDebInfo build + ctest
-#   scripts/check.sh --sanitize   # same, with ASan+UBSan (RDMADL_SANITIZE=ON)
+#   scripts/check.sh              # plain build + ctest, then ASan+UBSan
+#                                 # build + ctest (RDMADL_SANITIZE=ON)
+#   scripts/check.sh --sanitize   # only the sanitizer build + ctest
+#   scripts/check.sh --plain      # only the plain build + ctest
+#   scripts/check.sh --chaos      # plain build, then sweep the seeded chaos
+#                                 # suites over RDMADL_FAULT_SEED=1..10
 #
 # Environment:
-#   BUILD_DIR  override the build directory (default: build, or
-#              build-sanitize with --sanitize)
-#   JOBS       parallelism (default: nproc)
+#   BUILD_DIR    override the build directory (default: build, or
+#                build-sanitize for the sanitizer pass)
+#   JOBS         parallelism (default: nproc)
+#   CHAOS_SEEDS  space-separated seed list for --chaos (default: 1..10)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SANITIZE=OFF
+MODE=both
 for arg in "$@"; do
   case "$arg" in
-    --sanitize) SANITIZE=ON ;;
+    --sanitize) MODE=sanitize ;;
+    --plain) MODE=plain ;;
+    --chaos) MODE=chaos ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
-if [[ "$SANITIZE" == ON ]]; then
-  BUILD_DIR="${BUILD_DIR:-build-sanitize}"
-else
-  BUILD_DIR="${BUILD_DIR:-build}"
-fi
 JOBS="${JOBS:-$(nproc)}"
 
-cmake -B "$BUILD_DIR" -S . -DRDMADL_SANITIZE="$SANITIZE"
-cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+build_and_test() {
+  local sanitize="$1" build_dir="$2"
+  cmake -B "$build_dir" -S . -DRDMADL_SANITIZE="$sanitize"
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+}
+
+case "$MODE" in
+  plain)
+    build_and_test OFF "${BUILD_DIR:-build}"
+    ;;
+  sanitize)
+    build_and_test ON "${BUILD_DIR:-build-sanitize}"
+    ;;
+  both)
+    build_and_test OFF "${BUILD_DIR:-build}"
+    build_and_test ON "${BUILD_DIR:-build-sanitize}"
+    ;;
+  chaos)
+    # Deterministic chaos sweep: the fault suites derive their fault
+    # schedules from RDMADL_FAULT_SEED, so each seed is a distinct — but
+    # reproducible — storm of drops, spikes, flaps and crashes.
+    BUILD_DIR="${BUILD_DIR:-build}"
+    cmake -B "$BUILD_DIR" -S . -DRDMADL_SANITIZE=OFF
+    cmake --build "$BUILD_DIR" -j "$JOBS"
+    for seed in ${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}; do
+      echo "=== chaos sweep: RDMADL_FAULT_SEED=$seed ==="
+      RDMADL_FAULT_SEED="$seed" "$BUILD_DIR/tests/fault_test" --gtest_brief=1
+      RDMADL_FAULT_SEED="$seed" "$BUILD_DIR/tests/property_test" --gtest_brief=1 \
+        --gtest_filter='Seeds/HealingFaultAllReduceTest.*'
+    done
+    echo "chaos sweep passed for seeds: ${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}"
+    ;;
+esac

@@ -86,6 +86,10 @@ struct CollectiveOptions {
   int num_cqs = 2;
   // Tracer track prefix for collective spans ("host0 ring[0]", ...).
   std::string trace_prefix = "ring";
+  // Virtual-time budget for one collective; 0 = unlimited. A collective still
+  // in flight when the budget elapses fails with kDeadlineExceeded instead of
+  // hanging virtual time (e.g. a crashed peer whose flag never arrives).
+  int64_t op_timeout_ns = 0;
 };
 
 struct CollectiveStats {
@@ -141,6 +145,10 @@ class CollectiveGroup {
 
   bool busy() const { return op_ != nullptr; }
   const CollectiveStats& stats() const { return stats_; }
+
+  // Recovers every rank's errored QPs (after a failed/timed-out collective,
+  // once the simulator has quiesced) so the next op starts on clean channels.
+  Status ResetTransport();
 
   // The N-way chunk partition used by ReduceScatter/AllGather/AllReduce
   // (chunk c of a |count|-element vector): {offset, length} in elements.

@@ -297,6 +297,13 @@ void CollectiveGroup::Begin(std::shared_ptr<Op> op, std::function<void()> start)
   for (const auto& rank : ranks_) {
     std::memset(rank->flags(), 0, flag_capacity_);
   }
+  if (options_.op_timeout_ns > 0) {
+    sim->ScheduleAfter(options_.op_timeout_ns, [this, op] {
+      if (op->finished) return;
+      Fail(op, DeadlineExceeded(StrCat("collective did not complete within ",
+                                       options_.op_timeout_ns, "ns")));
+    });
+  }
   if (op->count == 0 || size() == 1) {
     sim->ScheduleAfter(0, [this, op, sim] {
       op->start_ns = sim->Now();
@@ -395,7 +402,15 @@ void CollectiveGroup::Fail(const std::shared_ptr<Op>& op, const Status& status) 
   op->finished = true;
   op->status = status;
   op_.reset();
+  sim::TraceInstant("collective", StrCat("failed: ", status.message()), simulator()->Now());
   if (op->done) op->done(status);
+}
+
+Status CollectiveGroup::ResetTransport() {
+  for (const auto& rank : ranks_) {
+    RDMADL_RETURN_IF_ERROR(rank->device->RecoverChannels());
+  }
+  return OkStatus();
 }
 
 void CollectiveGroup::FinishUnit(const std::shared_ptr<Op>& op) {
@@ -458,8 +473,13 @@ void CollectiveGroup::PostChunk(const std::shared_ptr<Op>& op, int src_rank, int
   fabric->Transfer(
       src->endpoint.host_id, dst->endpoint.host_id, std::max<uint64_t>(bytes, 1),
       net::Plane::kTcp, sender_ns, nullptr,
-      [this, op, dst, local_addr, remote_addr, bytes, flag_index, receiver_ns, copy] {
+      [this, op, dst, local_addr, remote_addr, bytes, flag_index, receiver_ns,
+       copy](Status status) {
         if (op->finished) return;
+        if (!status.ok()) {
+          Fail(op, status);
+          return;
+        }
         simulator()->ScheduleAfter(receiver_ns, [op, dst, local_addr, remote_addr, bytes,
                                                  flag_index, copy] {
           if (op->finished) return;

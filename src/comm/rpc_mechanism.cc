@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/util/logging.h"
 #include "src/util/strings.h"
 
 namespace rdmadl {
@@ -25,8 +26,16 @@ void RpcMechanism::Setup(const std::vector<graph::TransferEdge>& edges,
 
 void RpcMechanism::BeginStep(int64_t step) {
   for (auto& [key, box] : mailboxes_) {
-    CHECK(!box.has_tensor && !box.waiter)
-        << "mailbox " << key << " carried state across a step boundary";
+    if (box.has_tensor || box.waiter || !box.error.ok()) {
+      // A failed/aborted step can strand a delivery, a waiter (whose step
+      // epoch has since advanced, making it a no-op), or a parked error.
+      // Clear them so the retried step starts from a clean rendezvous.
+      LOG(WARNING) << "mailbox " << key << " carried state across a step boundary; clearing";
+      box.has_tensor = false;
+      box.tensor = tensor::Tensor();
+      box.error = OkStatus();
+      box.waiter = nullptr;
+    }
   }
 }
 
@@ -103,7 +112,15 @@ int64_t RpcMechanism::Send(const graph::TransferEdge& edge, const Tensor& tensor
       sim::Simulator* simulator = src->simulator();
       src->rdma_device()->nic()->fabric()->Transfer(
           src->endpoint().host_id, dst->endpoint().host_id, frag_bytes, plane_, per_msg_delay,
-          nullptr, [this, src, dst, flight, frag_bytes, last, simulator]() {
+          nullptr, [this, src, dst, flight, frag_bytes, last, simulator](Status status) {
+            if (!status.ok()) {
+              // Lost fragment: gRPC surfaces a failed call; the whole message
+              // is dead (no transparent fragment retry in this baseline).
+              FailDeliver(flight->edge,
+                          Status(status.code(),
+                                 StrCat("RPC transfer failed: ", status.message())));
+              return;
+            }
             const net::CostModel& cost = src->cost();
             // Receiver: copy out of the in-library ring buffer into the user
             // buffer (§2.2), serialized on the receiver's comm CPU.
@@ -160,10 +177,29 @@ void RpcMechanism::Deliver(const graph::TransferEdge& edge, Tensor tensor) {
   box.has_tensor = true;
 }
 
+void RpcMechanism::FailDeliver(const graph::TransferEdge& edge, const Status& status) {
+  Mailbox& box = mailboxes_[edge.key];
+  if (box.waiter) {
+    auto waiter = std::move(box.waiter);
+    box.waiter = nullptr;
+    waiter(status, Tensor());
+    return;
+  }
+  box.error = status;
+}
+
 void RpcMechanism::RecvAsync(const graph::TransferEdge& edge,
                              std::function<void(const Status&, Tensor)> done) {
   Mailbox& box = mailboxes_[edge.key];
   CHECK(!box.waiter) << "duplicate RecvAsync for edge " << edge.key;
+  if (!box.error.ok()) {
+    Status err = box.error;
+    box.error = OkStatus();
+    cluster_->simulator()->ScheduleAfter(0, [done = std::move(done), err]() {
+      done(err, Tensor());
+    });
+    return;
+  }
   if (box.has_tensor) {
     Tensor t = std::move(box.tensor);
     box.has_tensor = false;

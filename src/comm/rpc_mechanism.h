@@ -59,10 +59,14 @@ class RpcMechanism : public runtime::TransferMechanism {
   struct Mailbox {
     bool has_tensor = false;
     tensor::Tensor tensor;
+    // Transport failure parked here until the receiver asks (fault injection:
+    // a dropped RPC fragment fails the whole message).
+    Status error;
     std::function<void(const Status&, tensor::Tensor)> waiter;
   };
 
   void Deliver(const graph::TransferEdge& edge, tensor::Tensor tensor);
+  void FailDeliver(const graph::TransferEdge& edge, const Status& status);
 
   runtime::Cluster* cluster_;
   net::Plane plane_;

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/util/logging.h"
 #include "src/util/strings.h"
 
 namespace rdmadl {
@@ -270,6 +271,19 @@ void ZeroCopyRdmaMechanism::BeginStep(int64_t step) {
       }
       state->staging_to_free_at_step.clear();
     }
+  }
+}
+
+void ZeroCopyRdmaMechanism::ResetTransientState() {
+  for (auto& [key, state] : edges_) {
+    EdgeState* s = state.get();
+    s->phase = RecvPhase::kWaiting;
+    if (s->flag_ptr != nullptr) *s->flag_ptr = 0;
+    if (s->meta_block != nullptr && s->meta_bytes > 0) {
+      std::memset(s->meta_block, 0, s->meta_bytes);
+    }
+    if (s->protocol == Protocol::kDynamic) s->recv_tensor = Tensor();
+    s->hold = Tensor();
   }
 }
 
@@ -551,8 +565,16 @@ void ZeroCopyRdmaMechanism::StartDynamicRead(EdgeState* s) {
   s->read_channel->Memcpy(t.raw_data(), arena->lkey, src_addr, src_rkey, payload_bytes,
                           Direction::kRemoteToLocal,
                           [s](const Status& status) {
-                            CHECK(status.ok())
-                                << "dynamic RDMA read failed: " << status;
+                            if (!status.ok()) {
+                              // Transport failure: drop the half-read tensor
+                              // and rearm the edge; the sender's retried step
+                              // will rewrite the metadata block.
+                              LOG(WARNING) << "dynamic RDMA read failed on edge "
+                                           << s->edge.key << ": " << status;
+                              s->recv_tensor = Tensor();
+                              s->phase = RecvPhase::kWaiting;
+                              return;
+                            }
                             s->phase = RecvPhase::kReady;
                           },
                           /*copy_bytes=*/s->dst->real_memory());

@@ -97,6 +97,13 @@ class ZeroCopyRdmaMechanism : public runtime::TransferMechanism {
 
   const ZeroCopyStats& stats() const { return stats_; }
 
+  // Fault recovery: discards every edge's in-flight receive state (completion
+  // flags, dynamic metadata blocks, partially received tensors, sender
+  // holds). Call after a failed step has been aborted and the simulator has
+  // quiesced, before retrying the step — a half-delivered transfer must not
+  // be mistaken for a fresh arrival.
+  void ResetTransientState();
+
  private:
   enum class Protocol { kStatic, kDynamic };
   enum class RecvPhase { kWaiting, kTransferring, kStaging, kReady };

@@ -133,6 +133,19 @@ void RdmaChannel::Memcpy(void* local_addr, uint32_t lkey, uint64_t remote_addr, 
     device_->pending_sends_.erase(it);
     // Deliver the failure asynchronously for a uniform contract.
     device_->simulator()->ScheduleAfter(0, [cb = std::move(cb), s]() { cb(s); });
+    return;
+  }
+  if (device_->memcpy_timeout_ns_ > 0) {
+    RdmaDevice* dev = device_;
+    const uint64_t wr_id = wr.wr_id;
+    dev->simulator()->ScheduleAfter(dev->memcpy_timeout_ns_, [dev, wr_id]() {
+      auto it = dev->pending_sends_.find(wr_id);
+      if (it == dev->pending_sends_.end()) return;  // Completed in time.
+      MemcpyCallback cb = std::move(it->second);
+      dev->pending_sends_.erase(it);
+      dev->abandoned_wr_ids_.insert(wr_id);
+      cb(DeadlineExceeded("RDMA memcpy timed out"));
+    });
   }
 }
 
@@ -145,6 +158,11 @@ RdmaDevice::RdmaDevice(DeviceDirectory* directory, int num_qps_per_peer, const E
       num_qps_per_peer_(num_qps_per_peer) {}
 
 RdmaDevice::~RdmaDevice() { directory_->devices_.erase(local_); }
+
+void RdmaDevice::DropPendingCallbacks() {
+  pending_sends_.clear();
+  pending_calls_.clear();
+}
 
 StatusOr<std::unique_ptr<RdmaDevice>> RdmaDevice::Create(DeviceDirectory* directory,
                                                          int num_cqs, int num_qps_per_peer,
@@ -259,8 +277,15 @@ void RdmaDevice::DrainCq(rdma::CompletionQueue* cq) {
       auto qp_it = rpc_qps_.find(wc.qp_num);
       CHECK(qp_it != rpc_qps_.end());
       rdma::QueuePair* qp = qp_it->second;
+      --rpc_recv_posted_[qp->qp_num()];
       if (wc.status.ok()) {
         HandleRpcInbound(qp, slot.data, wc.byte_len);
+      } else if (qp->in_error()) {
+        // Flushed recv: park the slot. Reposting now would be flush-completed
+        // again immediately; RecoverChannels replenishes the queue once the
+        // QP is back in service.
+        ReleaseRpcSlot(slot);
+        continue;
       } else {
         LOG(ERROR) << "RPC recv completion error: " << wc.status;
       }
@@ -284,8 +309,26 @@ void RdmaDevice::DrainCq(rdma::CompletionQueue* cq) {
       }
       continue;
     }
+    if (abandoned_wr_ids_.erase(wc.wr_id) > 0) {
+      continue;  // Late completion of a timed-out Memcpy; already reported.
+    }
     LOG(WARNING) << "orphan completion wr_id=" << wc.wr_id;
   }
+}
+
+Status RdmaDevice::RecoverChannels() {
+  for (auto& [endpoint, peer] : peers_) {
+    for (rdma::QueuePair* qp : peer.qps) {
+      if (qp->in_error()) RDMADL_RETURN_IF_ERROR(qp->Recover());
+    }
+    if (peer.rpc_qp != nullptr && peer.rpc_qp->in_error()) {
+      RDMADL_RETURN_IF_ERROR(peer.rpc_qp->Recover());
+      while (rpc_recv_posted_[peer.rpc_qp->qp_num()] < kRpcRecvDepth) {
+        PostRpcRecv(peer.rpc_qp, AcquireRpcSlot());
+      }
+    }
+  }
+  return OkStatus();
 }
 
 // --------------------------------------------------------------------- MiniRPC
@@ -315,6 +358,7 @@ void RdmaDevice::PostRpcRecv(rdma::QueuePair* qp, RpcSlot slot) {
   wr.lkey = slot.lkey;
   wr.length = kRpcSlotBytes;
   rpc_recv_slots_[wr.wr_id] = slot;
+  ++rpc_recv_posted_[qp->qp_num()];
   Status s = qp->PostRecv(wr);
   CHECK(s.ok()) << s;
 }

@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/rdma/verbs.h"
@@ -161,6 +162,24 @@ class RdmaDevice {
   void Call(const Endpoint& remote, const std::string& method, std::vector<uint8_t> payload,
             RpcCallback callback);
 
+  // Recovers every errored QP to this device's peers (data and RPC QPs) after
+  // a transport failure has been observed and the simulator has quiesced.
+  // Flushed RPC receive buffers are reposted.
+  Status RecoverChannels();
+
+  // Drops, without invoking, every pending Memcpy and RPC callback. Teardown
+  // aid: callbacks abandoned by an aborted step may own tensors whose buffers
+  // deallocate through the process's allocators, so they must be destroyed
+  // while those allocators are still alive — HostRuntime calls this from its
+  // destructor before any of its members go away. Not for use mid-run.
+  void DropPendingCallbacks();
+
+  // Watchdog for RdmaChannel::Memcpy: a callback still pending after this
+  // much virtual time fires with kDeadlineExceeded and the eventual late
+  // completion (if any) is discarded. 0 = disabled (default).
+  void set_memcpy_timeout_ns(int64_t timeout_ns) { memcpy_timeout_ns_ = timeout_ns; }
+  int64_t memcpy_timeout_ns() const { return memcpy_timeout_ns_; }
+
   const Endpoint& endpoint() const { return local_; }
   rdma::NicDevice* nic() const { return nic_; }
   sim::Simulator* simulator() const { return nic_->simulator(); }
@@ -213,9 +232,16 @@ class RdmaDevice {
   uint64_t next_wr_id_ = 1;
   uint64_t next_call_id_ = 1;
 
+  int64_t memcpy_timeout_ns_ = 0;
+
   std::vector<rdma::CompletionQueue*> cqs_;
   std::map<Endpoint, PeerConnection> peers_;
   std::unordered_map<uint64_t, MemcpyCallback> pending_sends_;
+  // Memcpys whose timeout already fired; their late completions are dropped.
+  std::unordered_set<uint64_t> abandoned_wr_ids_;
+  // Outstanding RPC recv WRs per rpc_qp (qp_num -> count), so recovery knows
+  // how many flushed buffers to repost.
+  std::unordered_map<uint32_t, int> rpc_recv_posted_;
   std::unordered_map<std::string, RpcHandler> rpc_handlers_;
   std::unordered_map<uint64_t, PendingCall> pending_calls_;
   // qp_num -> owning QP, for routing inbound RPC messages.

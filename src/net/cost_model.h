@@ -30,6 +30,13 @@ struct CostModel {
   // ordering guarantee of Mellanox NICs that the flag-byte protocol relies on).
   uint64_t rdma_mtu_bytes = 4096;
 
+  // IB RC transport reliability: on a lost segment the QP retransmits the
+  // work request with exponential backoff (base << attempt), up to the retry
+  // count (the 3-bit retry_cnt field caps at 7); exhaustion moves the QP to
+  // the error state and flushes queued work requests.
+  int rdma_transport_retry_count = 7;
+  int64_t rdma_transport_retry_base_ns = 20'000;
+
   // Memory-region registration (§3.4): pinning pages via the kernel.
   int64_t mr_register_base_ns = 40'000;     // Syscall + driver entry.
   int64_t mr_register_per_page_ns = 220;    // Per 4 KB page pinned.

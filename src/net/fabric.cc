@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/sim/trace.h"
 #include "src/util/strings.h"
 
 namespace rdmadl {
@@ -26,10 +27,26 @@ Fabric::Fabric(sim::Simulator* simulator, const CostModel& cost, int num_hosts)
   }
 }
 
+void Fabric::SetFaultInjector(sim::FaultInjector* injector) {
+  fault_ = injector;
+  if (injector == nullptr) return;
+  for (auto& host : hosts_) {
+    for (const sim::DownWindow& w : injector->down_windows(host->id())) {
+      host->egress().AddDownWindow(w.from_ns, w.until_ns);
+      host->ingress().AddDownWindow(w.from_ns, w.until_ns);
+      sim::TraceSpan("fault", StrCat("host", host->id(), " link down"), w.from_ns,
+                     w.until_ns);
+    }
+  }
+  for (const auto& [host_id, at_ns] : injector->crash_times()) {
+    sim::TraceInstant("fault", StrCat("host", host_id, " crash"), at_ns);
+  }
+}
+
 void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
                       int64_t initiation_delay_ns,
                       std::function<void(uint64_t, uint64_t)> on_chunk,
-                      std::function<void()> on_complete) {
+                      std::function<void(Status)> on_complete) {
   Host* src_host = host(src);
   Host* dst_host = host(dst);
 
@@ -51,6 +68,32 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
   ++stats.transfers;
   stats.bytes += bytes;
 
+  const int64_t now = simulator_->Now() + initiation_delay_ns;
+
+  if (fault_ != nullptr) {
+    // Fail-stop hosts: the transfer is refused after one propagation latency
+    // (the initiator learns nothing arrived), never silently swallowed, so
+    // callers waiting on completion always make progress.
+    const int dead = fault_->FirstDeadHost(src, dst, now);
+    if (dead >= 0) {
+      sim::TraceInstant("fault", StrCat("transfer refused: host", dead, " crashed"), now);
+      if (on_complete) {
+        simulator_->ScheduleAt(
+            now + latency, [dead, complete_cb = std::move(on_complete)]() {
+              complete_cb(Unavailable(StrCat("host", dead, " crashed")));
+            });
+      }
+      return;
+    }
+    const int64_t spike_ns = fault_->DrawSpikeNs(src, dst);
+    if (spike_ns > 0) {
+      sim::TraceInstant("fault",
+                        StrCat("latency spike +", spike_ns, "ns host", src, "->host", dst),
+                        now);
+      latency += spike_ns;
+    }
+  }
+
   // Delivery granularity: MTU-sized for small transfers (fine-grained partial
   // visibility for the flag-byte protocol), scaled up for very large ones so
   // one transfer costs a bounded number of simulation events. Ascending-order
@@ -58,23 +101,41 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
   constexpr uint64_t kMaxChunksPerTransfer = 64;
   const uint64_t chunk_size =
       std::max<uint64_t>(cost_.rdma_mtu_bytes, bytes / kMaxChunksPerTransfer);
-  const int64_t now = simulator_->Now() + initiation_delay_ns;
 
   // Sub-MTU messages (flag bytes, metadata blocks, RPC control frames) do not
   // serialize behind queued bulk transfers: a real NIC interleaves packets of
   // different QPs, so a one-byte write never waits for hundreds of megabytes
-  // of unrelated traffic to drain. They pay their own wire time + latency.
+  // of unrelated traffic to drain. They pay their own wire time + latency —
+  // but still queue behind link down windows.
   if (bytes <= cost_.rdma_mtu_bytes) {
     const int64_t wire_ns = std::max<int64_t>(
         1, static_cast<int64_t>(static_cast<double>(std::max<uint64_t>(bytes, 1)) /
                                 bandwidth * 1e9));
+    int64_t start = now;
+    if (!loopback) {
+      start = std::max(src_host->egress().AvailableAt(start),
+                       dst_host->ingress().AvailableAt(start));
+    }
+    const bool dropped = fault_ != nullptr && fault_->ShouldDropSegment(src, dst);
+    const int64_t deliver_at = start + wire_ns + latency;
+    if (dropped) {
+      sim::TraceInstant("fault", StrCat("drop host", src, "->host", dst, " offset=0"),
+                        deliver_at);
+    }
     auto chunk_cb = std::move(on_chunk);
     auto complete_cb = std::move(on_complete);
     simulator_->ScheduleAt(
-        now + wire_ns + latency,
-        [bytes, chunk_cb = std::move(chunk_cb), complete_cb = std::move(complete_cb)]() {
+        deliver_at, [bytes, src, dst, dropped, chunk_cb = std::move(chunk_cb),
+                     complete_cb = std::move(complete_cb)]() {
+          if (dropped) {
+            if (complete_cb) {
+              complete_cb(Unavailable(
+                  StrCat("segment lost on host", src, "->host", dst, " at offset 0")));
+            }
+            return;
+          }
           if (chunk_cb && bytes > 0) chunk_cb(0, bytes);
-          if (complete_cb) complete_cb();
+          if (complete_cb) complete_cb(OkStatus());
         });
     return;
   }
@@ -86,7 +147,7 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
     uint64_t delivered = 0;
     uint64_t total_bytes;
     std::function<void(uint64_t, uint64_t)> on_chunk;
-    std::function<void()> on_complete;
+    std::function<void(Status)> on_complete;
   };
   auto progress = std::make_shared<Progress>();
   progress->total_bytes = bytes;
@@ -111,6 +172,28 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
     cursor = egress_done;
     const int64_t deliver_at = egress_done + latency;
     const uint64_t this_offset = offset;
+
+    // A lost segment truncates the transfer: the in-order transport delivers
+    // nothing past the gap, so earlier segments land normally and the
+    // completion (fired at the lost segment's delivery time, when the sender's
+    // retransmission timer would notice) carries the failure. A retry rewrites
+    // from offset 0, preserving the ascending-prefix invariant receivers rely
+    // on.
+    if (fault_ != nullptr && fault_->ShouldDropSegment(src, dst)) {
+      sim::TraceInstant("fault",
+                        StrCat("drop host", src, "->host", dst, " offset=", this_offset),
+                        deliver_at);
+      simulator_->ScheduleAt(deliver_at, [progress, src, dst, this_offset]() {
+        if (progress->on_complete) {
+          auto complete = std::move(progress->on_complete);
+          progress->on_complete = nullptr;
+          complete(Unavailable(StrCat("segment lost on host", src, "->host", dst,
+                                      " at offset ", this_offset)));
+        }
+      });
+      return;
+    }
+
     const uint64_t payload_len = (bytes == 0) ? 0 : len;
     simulator_->ScheduleAt(deliver_at, [progress, this_offset, payload_len]() {
       if (progress->on_chunk && payload_len > 0) {
@@ -121,7 +204,7 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
       if (done && progress->on_complete) {
         auto complete = std::move(progress->on_complete);
         progress->on_complete = nullptr;
-        complete();
+        complete(OkStatus());
       }
     });
     offset += len;

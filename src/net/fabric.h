@@ -9,15 +9,19 @@
 #ifndef RDMADL_SRC_NET_FABRIC_H_
 #define RDMADL_SRC_NET_FABRIC_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/net/cost_model.h"
+#include "src/sim/fault.h"
 #include "src/sim/simulator.h"
 #include "src/util/logging.h"
+#include "src/util/status.h"
 
 namespace rdmadl {
 namespace net {
@@ -29,12 +33,32 @@ class Link {
   explicit Link(std::string name) : name_(std::move(name)) {}
 
   // Reserves |duration_ns| of link time starting no earlier than |now|.
-  // Returns the time at which the reserved slot *ends*.
+  // Returns the time at which the reserved slot *ends*. A slot may not start
+  // inside a down window: the reservation queues until the link recovers.
+  // (Slots already started when a window opens are allowed to finish —
+  // in-flight packets are not clawed back.)
   int64_t Reserve(int64_t now, int64_t duration_ns) {
-    const int64_t start = std::max(now, next_free_ns_);
+    const int64_t start = AvailableAt(std::max(now, next_free_ns_));
     next_free_ns_ = start + duration_ns;
     busy_ns_total_ += duration_ns;
     return next_free_ns_;
+  }
+
+  // Marks the link unusable in [from_ns, until_ns): reservations queue past
+  // the window. Installed by Fabric::SetFaultInjector.
+  void AddDownWindow(int64_t from_ns, int64_t until_ns) {
+    if (until_ns <= from_ns) return;
+    down_windows_.push_back({from_ns, until_ns});
+    std::sort(down_windows_.begin(), down_windows_.end());
+  }
+
+  // Earliest time >= |t| at which the link is up.
+  int64_t AvailableAt(int64_t t) const {
+    for (const auto& [from_ns, until_ns] : down_windows_) {
+      if (t < from_ns) break;
+      if (t < until_ns) t = until_ns;
+    }
+    return t;
   }
 
   int64_t next_free_ns() const { return next_free_ns_; }
@@ -45,6 +69,7 @@ class Link {
   std::string name_;
   int64_t next_free_ns_ = 0;
   int64_t busy_ns_total_ = 0;  // For utilization accounting.
+  std::vector<std::pair<int64_t, int64_t>> down_windows_;  // Sorted by start.
 };
 
 // One simulated server.
@@ -98,11 +123,20 @@ class Fabric {
   // Moves |bytes| from |src| to |dst| on |plane|. Bytes are delivered in
   // ascending offset order: |on_chunk| (optional) fires once per delivered
   // segment with (offset, length); |on_complete| fires when the last segment
-  // has landed. The transfer starts after |initiation_delay_ns| of sender-side
-  // processing (e.g. NIC WQE fetch) from the current virtual time.
+  // has landed (OkStatus), or when a fault kills the transfer (kUnavailable;
+  // the ascending prefix that already landed stays delivered). The transfer
+  // starts after |initiation_delay_ns| of sender-side processing (e.g. NIC
+  // WQE fetch) from the current virtual time.
   void Transfer(int src, int dst, uint64_t bytes, Plane plane, int64_t initiation_delay_ns,
                 std::function<void(uint64_t offset, uint64_t length)> on_chunk,
-                std::function<void()> on_complete);
+                std::function<void(Status)> on_complete);
+
+  // Attaches a fault injector (nullptr to detach). Down windows configured on
+  // the injector are installed onto the hosts' egress/ingress links at attach
+  // time, so configure the injector fully before attaching. With no injector
+  // the fabric consumes no randomness and behaves exactly as before.
+  void SetFaultInjector(sim::FaultInjector* injector);
+  sim::FaultInjector* fault_injector() const { return fault_; }
 
   const TransferStats& stats(Plane plane) const {
     return plane == Plane::kRdma ? rdma_stats_ : tcp_stats_;
@@ -112,6 +146,7 @@ class Fabric {
   sim::Simulator* simulator_;
   CostModel cost_;
   std::vector<std::unique_ptr<Host>> hosts_;
+  sim::FaultInjector* fault_ = nullptr;  // Not owned.
   TransferStats rdma_stats_;
   TransferStats tcp_stats_;
 };

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/sim/trace.h"
 #include "src/util/strings.h"
 
 namespace rdmadl {
@@ -69,6 +70,12 @@ Status QueuePair::PostSend(const SendWorkRequest& wr) {
     return InvalidArgument(StrCat("local buffer not registered: lkey=", wr.lkey, " addr=",
                                   wr.local_addr, " len=", wr.length));
   }
+  if (state_ == QpState::kError) {
+    // Real RC QPs accept posts in the error state and complete them with a
+    // flush error; callers learn of the failure from the CQ, never silently.
+    FlushPostedSend(wr);
+    return OkStatus();
+  }
   send_queue_.push_back(wr);
   MaybeStartNext();
   return OkStatus();
@@ -78,13 +85,29 @@ Status QueuePair::PostRecv(const RecvWorkRequest& wr) {
   if (nic_->FindLocalRegion(wr.lkey, wr.addr, wr.length) == nullptr) {
     return InvalidArgument("recv buffer not registered");
   }
+  if (state_ == QpState::kError) {
+    FlushPostedRecv(wr);
+    return OkStatus();
+  }
   recv_queue_.push_back(wr);
   MatchInbound();
   return OkStatus();
 }
 
+Status QueuePair::Recover() {
+  if (peer_ == nullptr) return FailedPrecondition("QP not connected");
+  if (state_ != QpState::kError) return OkStatus();
+  if (engine_busy_) {
+    return FailedPrecondition("cannot recover a QP with a work request in flight");
+  }
+  state_ = QpState::kReady;
+  error_cause_ = OkStatus();
+  retry_attempts_ = 0;
+  return OkStatus();
+}
+
 void QueuePair::MaybeStartNext() {
-  if (engine_busy_ || send_queue_.empty()) return;
+  if (engine_busy_ || state_ == QpState::kError || send_queue_.empty()) return;
   engine_busy_ = true;
   SendWorkRequest wr = send_queue_.front();
   send_queue_.pop_front();
@@ -135,7 +158,7 @@ void QueuePair::ExecuteWrite(const SendWorkRequest& wr) {
       [src, dst, copy = wr.copy_bytes](uint64_t offset, uint64_t length) {
         if (copy) std::memcpy(dst + offset, src + offset, length);
       },
-      [this, wr]() { FinishCurrent(wr, OkStatus(), wr.length); });
+      [this, wr](Status status) { CompleteWire(wr, status, nullptr); });
 }
 
 void QueuePair::ExecuteRead(const SendWorkRequest& wr) {
@@ -161,7 +184,7 @@ void QueuePair::ExecuteRead(const SendWorkRequest& wr) {
       [src, dst, copy = wr.copy_bytes](uint64_t offset, uint64_t length) {
         if (copy) std::memcpy(dst + offset, src + offset, length);
       },
-      [this, wr]() { FinishCurrent(wr, OkStatus(), wr.length); });
+      [this, wr](Status status) { CompleteWire(wr, status, nullptr); });
 }
 
 void QueuePair::ExecuteSend(const SendWorkRequest& wr) {
@@ -171,10 +194,45 @@ void QueuePair::ExecuteSend(const SendWorkRequest& wr) {
   QueuePair* peer = peer_;
   nic_->fabric()->Transfer(nic_->host_id(), peer->nic_->host_id(), wr.length, net::Plane::kRdma,
                            nic_->cost().rdma_nic_processing_ns, nullptr,
-                           [this, peer, src, wr]() {
-                             peer->DeliverInbound(src, wr.length, wr.copy_bytes);
-                             FinishCurrent(wr, OkStatus(), wr.length);
+                           [this, peer, src, wr](Status status) {
+                             CompleteWire(wr, status, [peer, src, wr]() {
+                               peer->DeliverInbound(src, wr.length, wr.copy_bytes);
+                             });
                            });
+}
+
+void QueuePair::CompleteWire(const SendWorkRequest& wr, const Status& status,
+                             std::function<void()> on_success) {
+  if (status.ok()) {
+    retry_attempts_ = 0;
+    if (on_success) on_success();
+    FinishCurrent(wr, OkStatus(), wr.length);
+    return;
+  }
+  // Transport failure (lost segment, dead host): the RC transport retransmits
+  // the work request with exponential backoff, transparently to the consumer.
+  if (retry_attempts_ < nic_->cost().rdma_transport_retry_count) {
+    const int64_t backoff = nic_->cost().rdma_transport_retry_base_ns << retry_attempts_;
+    ++retry_attempts_;
+    ++nic_->stats_.retransmissions;
+    sim::TraceInstant(StrCat("host", nic_->host_id(), ".nic"),
+                      StrCat("retransmit qp", qp_num_, " wr", wr.wr_id, " attempt ",
+                             retry_attempts_),
+                      nic_->simulator()->Now());
+    nic_->simulator()->ScheduleAfter(backoff, [this, wr]() { Execute(wr); });
+    return;
+  }
+  // Retry budget exhausted: the QP moves to the error state. The failing WR
+  // completes with the transport error; everything queued flushes after it.
+  retry_attempts_ = 0;
+  state_ = QpState::kError;
+  error_cause_ = Unavailable(StrCat("transport retry limit (",
+                                    nic_->cost().rdma_transport_retry_count,
+                                    ") exhausted: ", status.message()));
+  sim::TraceInstant(StrCat("host", nic_->host_id(), ".nic"),
+                    StrCat("qp", qp_num_, " -> ERROR: ", status.message()),
+                    nic_->simulator()->Now());
+  FinishCurrent(wr, error_cause_, 0);
 }
 
 void QueuePair::FinishCurrent(const SendWorkRequest& wr, Status status, uint64_t bytes) {
@@ -188,11 +246,66 @@ void QueuePair::FinishCurrent(const SendWorkRequest& wr, Status status, uint64_t
   nic_->simulator()->ScheduleAfter(nic_->cost().cq_poll_overhead_ns, [this, wc]() {
     engine_busy_ = false;
     send_cq_->Push(wc);
+    if (state_ == QpState::kError) {
+      FlushQueues();
+      return;
+    }
     MaybeStartNext();
   });
 }
 
+void QueuePair::FlushQueues() {
+  // FIFO order, after the completion that carried the error.
+  while (!send_queue_.empty()) {
+    SendWorkRequest wr = send_queue_.front();
+    send_queue_.pop_front();
+    ++nic_->stats_.flushed_wrs;
+    WorkCompletion wc;
+    wc.wr_id = wr.wr_id;
+    wc.opcode = wr.opcode;
+    wc.status = Aborted("WR flushed: QP in error state");
+    wc.qp_num = qp_num_;
+    send_cq_->Push(wc);
+  }
+  while (!recv_queue_.empty()) {
+    RecvWorkRequest wr = recv_queue_.front();
+    recv_queue_.pop_front();
+    ++nic_->stats_.flushed_wrs;
+    WorkCompletion wc;
+    wc.wr_id = wr.wr_id;
+    wc.opcode = Opcode::kRecv;
+    wc.status = Aborted("WR flushed: QP in error state");
+    wc.qp_num = qp_num_;
+    recv_cq_->Push(wc);
+  }
+}
+
+void QueuePair::FlushPostedSend(const SendWorkRequest& wr) {
+  ++nic_->stats_.flushed_wrs;
+  WorkCompletion wc;
+  wc.wr_id = wr.wr_id;
+  wc.opcode = wr.opcode;
+  wc.status = Aborted("WR flushed: QP in error state");
+  wc.qp_num = qp_num_;
+  nic_->simulator()->ScheduleAfter(nic_->cost().cq_poll_overhead_ns,
+                                   [this, wc]() { send_cq_->Push(wc); });
+}
+
+void QueuePair::FlushPostedRecv(const RecvWorkRequest& wr) {
+  ++nic_->stats_.flushed_wrs;
+  WorkCompletion wc;
+  wc.wr_id = wr.wr_id;
+  wc.opcode = Opcode::kRecv;
+  wc.status = Aborted("WR flushed: QP in error state");
+  wc.qp_num = qp_num_;
+  nic_->simulator()->ScheduleAfter(nic_->cost().cq_poll_overhead_ns,
+                                   [this, wc]() { recv_cq_->Push(wc); });
+}
+
 void QueuePair::DeliverInbound(const uint8_t* src, uint64_t length, bool copy_bytes) {
+  // An errored QP no longer matches inbound messages; the sender's completion
+  // already carried the failure.
+  if (state_ == QpState::kError) return;
   inbound_.push_back(InboundMessage{src, length, copy_bytes});
   MatchInbound();
 }

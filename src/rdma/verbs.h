@@ -107,7 +107,22 @@ class CompletionQueue {
   std::function<void()> handler_;
 };
 
+// QP lifecycle, collapsed from the ibverbs INIT/RTR/RTS/ERR diagram to the
+// two states the simulation distinguishes: serving WRs, or errored (after
+// transport retry exhaustion) with everything queued flushed.
+enum class QpState { kReady, kError };
+
 // Reliable-connected queue pair.
+//
+// Transport reliability: a wire-level segment loss (fault injection) is
+// retransmitted transparently with exponential backoff up to
+// cost.rdma_transport_retry_count attempts, like the RC retry_cnt machinery.
+// Exhaustion transitions the QP to the error state: the failing WR completes
+// with kUnavailable, every queued send/recv WR is flushed with a kAborted
+// completion (in FIFO order, after the failing one), and later posts are
+// accepted but immediately flush-completed — never silently dropped.
+// Recover() returns an errored QP to service (the simulation's stand-in for
+// tearing down and reconnecting the QP).
 class QueuePair {
  public:
   QueuePair(NicDevice* nic, uint32_t qp_num, CompletionQueue* send_cq, CompletionQueue* recv_cq)
@@ -119,8 +134,16 @@ class QueuePair {
   Status PostSend(const SendWorkRequest& wr);
   Status PostRecv(const RecvWorkRequest& wr);
 
+  // Returns an errored QP to kReady. Call only after the error has been
+  // observed and drained (no WR may be in flight).
+  Status Recover();
+
   uint32_t qp_num() const { return qp_num_; }
   bool connected() const { return peer_ != nullptr; }
+  QpState state() const { return state_; }
+  bool in_error() const { return state_ == QpState::kError; }
+  // The transport failure that moved the QP to kError (OK while kReady).
+  const Status& error_cause() const { return error_cause_; }
   NicDevice* nic() const { return nic_; }
   CompletionQueue* send_cq() const { return send_cq_; }
   CompletionQueue* recv_cq() const { return recv_cq_; }
@@ -141,6 +164,16 @@ class QueuePair {
   void ExecuteRead(const SendWorkRequest& wr);
   void ExecuteSend(const SendWorkRequest& wr);
   void FinishCurrent(const SendWorkRequest& wr, Status status, uint64_t bytes);
+  // Wire completion for the in-flight WR: success finishes it, a transport
+  // failure retries with backoff or errors the QP. |on_success| runs before
+  // the completion (e.g. SEND-side inbound delivery).
+  void CompleteWire(const SendWorkRequest& wr, const Status& status,
+                    std::function<void()> on_success);
+  // Flushes all queued WRs with kAborted completions (the QP is in kError).
+  void FlushQueues();
+  // Schedules an immediate flush completion for a WR posted while errored.
+  void FlushPostedSend(const SendWorkRequest& wr);
+  void FlushPostedRecv(const RecvWorkRequest& wr);
 
   // Target side of a SEND: match against posted receives.
   void DeliverInbound(const uint8_t* src, uint64_t length, bool copy_bytes);
@@ -152,6 +185,9 @@ class QueuePair {
   CompletionQueue* recv_cq_;
   QueuePair* peer_ = nullptr;
 
+  QpState state_ = QpState::kReady;
+  Status error_cause_;
+  int retry_attempts_ = 0;  // Transport retries consumed by the in-flight WR.
   bool engine_busy_ = false;
   std::deque<SendWorkRequest> send_queue_;
   std::deque<RecvWorkRequest> recv_queue_;
@@ -168,6 +204,8 @@ struct NicStats {
   uint64_t registrations = 0;
   int64_t registration_cost_ns_total = 0;
   uint64_t rkey_violations = 0;
+  uint64_t retransmissions = 0;  // Transport-level segment-loss retries.
+  uint64_t flushed_wrs = 0;      // WRs flush-completed by an errored QP.
 };
 
 // One RDMA NIC on one host.

@@ -73,6 +73,7 @@ const graph::TransferEdge& Executor::EdgeOf(const Node& node) const {
 void Executor::RunStepAsync(const std::unordered_map<std::string, Tensor>* feeds,
                             std::function<void(Status)> on_done) {
   CHECK(!in_flight_) << "step already running on " << host_->device_name();
+  ++epoch_;
   in_flight_ = true;
   feeds_ = feeds;
   on_done_ = std::move(on_done);
@@ -83,12 +84,15 @@ void Executor::RunStepAsync(const std::unordered_map<std::string, Tensor>* feeds
   free_workers_ = options_.num_workers;
   failed_ = false;
   failed_polls_in_row_ = 0;
+  delayed_kick_scheduled_ = false;  // A kick from an aborted step is stale.
   poll_interval_ns_ = host_->cost().idle_poll_interval_ns;
   for (const auto& node : graph_->nodes()) {
     if (pending_[node->id()] == 0) ready_.push_back(node.get());
   }
   if (remaining_ == 0) {
-    host_->simulator()->ScheduleAfter(0, [this]() {
+    const uint64_t epoch = epoch_;
+    host_->simulator()->ScheduleAfter(0, [this, epoch]() {
+      if (epoch != epoch_) return;
       in_flight_ = false;
       auto done = std::move(on_done_);
       done(OkStatus());
@@ -96,6 +100,16 @@ void Executor::RunStepAsync(const std::unordered_map<std::string, Tensor>* feeds
     return;
   }
   MaybeDispatch();
+}
+
+void Executor::Abort(const Status& status) {
+  if (!in_flight_) return;
+  ++epoch_;  // Invalidate every scheduled event of the aborted step.
+  failed_ = true;
+  in_flight_ = false;
+  ready_.clear();
+  auto done = std::move(on_done_);
+  if (done) done(status);
 }
 
 const Tensor* Executor::OutputOf(const Node* node) const {
@@ -115,7 +129,9 @@ void Executor::MaybeDispatch() {
     if (failed_polls_in_row_ >= static_cast<int>(ready_.size())) {
       if (!delayed_kick_scheduled_) {
         delayed_kick_scheduled_ = true;
-        host_->simulator()->ScheduleAfter(poll_interval_ns_, [this]() {
+        const uint64_t epoch = epoch_;
+        host_->simulator()->ScheduleAfter(poll_interval_ns_, [this, epoch]() {
+          if (epoch != epoch_) return;
           delayed_kick_scheduled_ = false;
           failed_polls_in_row_ = 0;
           // Exponential backoff while nothing arrives (see CostModel).
@@ -184,13 +200,20 @@ void Executor::StartCompute(Node* node) {
         host_->simulator()->Now() + options_.op_dispatch_ns, cost - options_.op_dispatch_ns);
     sim::TraceSpan(host_->device_name() + " compute", node->name(),
                    done_at - (cost - options_.op_dispatch_ns), done_at);
-    host_->simulator()->ScheduleAfter(options_.op_dispatch_ns, [this]() { ReleaseWorker(); });
-    host_->simulator()->ScheduleAt(done_at, [this, node, output]() {
+    const uint64_t epoch = epoch_;
+    host_->simulator()->ScheduleAfter(options_.op_dispatch_ns, [this, epoch]() {
+      if (epoch != epoch_) return;
+      ReleaseWorker();
+    });
+    host_->simulator()->ScheduleAt(done_at, [this, node, output, epoch]() {
+      if (epoch != epoch_) return;
       FinishNode(node, output);
     });
     return;
   }
-  host_->simulator()->ScheduleAfter(cost, [this, node, output]() {
+  const uint64_t epoch = epoch_;
+  host_->simulator()->ScheduleAfter(cost, [this, node, output, epoch]() {
+    if (epoch != epoch_) return;
     ReleaseWorker();
     FinishNode(node, output);
   });
@@ -202,8 +225,10 @@ void Executor::StartSend(Node* node) {
   const graph::TransferEdge& edge = EdgeOf(*node);
   Tensor tensor = outputs_[node->inputs()[0].node->id()];
   const int64_t send_start = host_->simulator()->Now();
+  const uint64_t epoch = epoch_;
   const int64_t sync_cost =
-      mechanism_->Send(edge, tensor, [this, node, tensor, send_start, &edge](Status status) {
+      mechanism_->Send(edge, tensor, [this, node, tensor, send_start, &edge, epoch](Status status) {
+        if (epoch != epoch_) return;
         if (!status.ok()) {
           FailStep(status);
           return;
@@ -212,22 +237,29 @@ void Executor::StartSend(Node* node) {
                        host_->simulator()->Now());
         FinishNode(node, tensor);
       });
-  host_->simulator()->ScheduleAfter(options_.op_dispatch_ns + sync_cost,
-                                    [this]() { ReleaseWorker(); });
+  host_->simulator()->ScheduleAfter(options_.op_dispatch_ns + sync_cost, [this, epoch]() {
+    if (epoch != epoch_) return;
+    ReleaseWorker();
+  });
 }
 
 void Executor::StartRecv(Node* node) {
   ++stats_.nodes_executed;
   failed_polls_in_row_ = 0;
   const graph::TransferEdge& edge = EdgeOf(*node);
-  mechanism_->RecvAsync(edge, [this, node](const Status& status, Tensor tensor) {
+  const uint64_t epoch = epoch_;
+  mechanism_->RecvAsync(edge, [this, node, epoch](const Status& status, Tensor tensor) {
+    if (epoch != epoch_) return;
     if (!status.ok()) {
       FailStep(status);
       return;
     }
     FinishNode(node, std::move(tensor));
   });
-  host_->simulator()->ScheduleAfter(options_.op_dispatch_ns, [this]() { ReleaseWorker(); });
+  host_->simulator()->ScheduleAfter(options_.op_dispatch_ns, [this, epoch]() {
+    if (epoch != epoch_) return;
+    ReleaseWorker();
+  });
 }
 
 void Executor::PollRecv(Node* node) {
@@ -241,8 +273,11 @@ void Executor::PollRecv(Node* node) {
     failed_polls_in_row_ = 0;
     poll_interval_ns_ = host_->cost().idle_poll_interval_ns;
     // Clear-flag + dependent activation cost, then complete.
-    host_->simulator()->ScheduleAfter(poll_cost,
-                                      [this, node, received]() { FinishNode(node, received); });
+    const uint64_t epoch = epoch_;
+    host_->simulator()->ScheduleAfter(poll_cost, [this, node, received, epoch]() {
+      if (epoch != epoch_) return;
+      FinishNode(node, received);
+    });
     return;
   }
   // Failed poll: back to the tail of the ready queue, synchronously (§4).

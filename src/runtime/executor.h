@@ -64,6 +64,12 @@ class Executor {
   void RunStepAsync(const std::unordered_map<std::string, tensor::Tensor>* feeds,
                     std::function<void(Status)> on_done);
 
+  // Cancels the in-flight step: on_done fires immediately with |status| and
+  // every already-scheduled event of the step becomes a no-op (the step epoch
+  // advances). Needed when a peer executor fails or a step deadline expires —
+  // otherwise late events would touch the dead step's state.
+  void Abort(const Status& status);
+
   bool step_in_flight() const { return in_flight_; }
   const ExecutorStats& stats() const { return stats_; }
   HostRuntime* host() const { return host_; }
@@ -106,6 +112,11 @@ class Executor {
   std::vector<const graph::TransferEdge*> edge_of_node_;  // By node id (transfer ops only).
 
   // Per-step state.
+  // Step epoch: advanced by RunStepAsync and Abort. Scheduled closures and
+  // mechanism callbacks capture the epoch they were created in and return
+  // early if the step has since completed/aborted, so stale events cannot
+  // corrupt a later step.
+  uint64_t epoch_ = 0;
   bool in_flight_ = false;
   const std::unordered_map<std::string, tensor::Tensor>* feeds_ = nullptr;
   std::function<void(Status)> on_done_;

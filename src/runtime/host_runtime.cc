@@ -30,6 +30,14 @@ HostRuntime::HostRuntime(device::DeviceDirectory* directory, const HostRuntimeOp
                          int index)
     : directory_(directory), options_(options), index_(index), resources_(options.seed) {}
 
+HostRuntime::~HostRuntime() {
+  // This body runs before member destruction. Callbacks abandoned inside the
+  // device by an aborted step may own tensors whose buffers deallocate
+  // through the arenas and tracing wrappers owned below — drop them while
+  // those allocators are still alive.
+  if (rdma_device_ != nullptr) rdma_device_->DropPendingCallbacks();
+}
+
 tensor::TracingAllocator* HostRuntime::tracing_allocator(tensor::Allocator* base) {
   auto it = tracing_wrappers_.find(base);
   if (it == tracing_wrappers_.end()) {

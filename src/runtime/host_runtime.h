@@ -62,6 +62,7 @@ class HostRuntime {
   static StatusOr<std::unique_ptr<HostRuntime>> Create(device::DeviceDirectory* directory,
                                                        const HostRuntimeOptions& options,
                                                        int index);
+  ~HostRuntime();
 
   const std::string& device_name() const { return options_.device_name; }
   const Endpoint& endpoint() const { return options_.endpoint; }

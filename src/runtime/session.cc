@@ -99,15 +99,26 @@ Status DistributedSession::RunStep(const std::unordered_map<std::string, tensor:
   }
   // Stop as soon as every executor finished or any of them failed (a failed
   // executor would leave its peers waiting forever on dead transfers).
-  Status sim_status = cluster_->simulator()->RunUntilPredicate(
-      [&] { return pending == 0 || !step_status.ok(); }, options_.max_events_per_step);
-  if (!step_status.ok()) return step_status;
-  if (!sim_status.ok()) {
-    return Status(sim_status.code(),
-                  StrCat("step did not complete: ", sim_status.message(),
-                         " (mechanism=", mechanism_->name(), ")"));
+  const auto step_done = [&] { return pending == 0 || !step_status.ok(); };
+  Status sim_status =
+      options_.step_timeout_ns > 0
+          ? cluster_->simulator()->RunUntilPredicateOrDeadline(
+                step_done, start + options_.step_timeout_ns, options_.max_events_per_step)
+          : cluster_->simulator()->RunUntilPredicate(step_done, options_.max_events_per_step);
+  if (!step_status.ok() || !sim_status.ok()) {
+    // The step is dead. Abort every executor still in flight NOW: their
+    // scheduled events capture this frame's |pending|/|step_status| by
+    // reference and must be invalidated before we return.
+    const Status abort_status =
+        !step_status.ok() ? step_status
+                          : Status(sim_status.code(),
+                                   StrCat("step did not complete: ", sim_status.message(),
+                                          " (mechanism=", mechanism_->name(), ")"));
+    for (auto& [device, executor] : executors_) {
+      if (executor->step_in_flight()) executor->Abort(abort_status);
+    }
+    return abort_status;
   }
-  RDMADL_RETURN_IF_ERROR(step_status);
   ++steps_run_;
   last_step_duration_ns_ = cluster_->simulator()->Now() - start;
   sim::TraceSpan("session", StrCat("step ", steps_run_ - 1), start,

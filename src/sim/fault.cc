@@ -1,0 +1,90 @@
+#include "src/sim/fault.h"
+
+#include <algorithm>
+
+namespace rdmadl {
+namespace sim {
+
+void FaultInjector::SetLinkFault(int src_host, int dst_host, const LinkFaultSpec& spec) {
+  LinkState& state = links_[{src_host, dst_host}];
+  state.spec = spec;
+  state.forced_drops_remaining = spec.drop_first_n;
+}
+
+void FaultInjector::SetLinkDown(int host, int64_t from_ns, int64_t until_ns) {
+  if (until_ns <= from_ns) return;
+  std::vector<DownWindow>& windows = down_windows_[host];
+  windows.push_back(DownWindow{from_ns, until_ns});
+  std::sort(windows.begin(), windows.end(),
+            [](const DownWindow& a, const DownWindow& b) { return a.from_ns < b.from_ns; });
+}
+
+void FaultInjector::FlapLink(int host, int64_t first_down_ns, int64_t down_ns,
+                             int64_t up_ns, int cycles) {
+  int64_t at = first_down_ns;
+  for (int i = 0; i < cycles; ++i) {
+    SetLinkDown(host, at, at + down_ns);
+    at += down_ns + up_ns;
+  }
+}
+
+void FaultInjector::CrashHost(int host, int64_t at_ns) {
+  auto it = crash_times_.find(host);
+  if (it == crash_times_.end() || at_ns < it->second) crash_times_[host] = at_ns;
+}
+
+int FaultInjector::FirstDeadHost(int src_host, int dst_host, int64_t now) const {
+  if (HostDead(src_host, now)) return src_host;
+  if (HostDead(dst_host, now)) return dst_host;
+  return -1;
+}
+
+bool FaultInjector::HostDead(int host, int64_t now) const {
+  auto it = crash_times_.find(host);
+  return it != crash_times_.end() && now >= it->second;
+}
+
+FaultInjector::LinkState* FaultInjector::FindState(int src_host, int dst_host) {
+  auto it = links_.find({src_host, dst_host});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+const LinkFaultSpec& FaultInjector::SpecFor(int src_host, int dst_host) {
+  LinkState* state = FindState(src_host, dst_host);
+  return state != nullptr ? state->spec : default_spec_;
+}
+
+bool FaultInjector::ShouldDropSegment(int src_host, int dst_host) {
+  LinkState* state = FindState(src_host, dst_host);
+  if (state != nullptr && state->forced_drops_remaining > 0) {
+    --state->forced_drops_remaining;
+    ++stats_.forced_drops;
+    ++stats_.dropped_segments;
+    return true;
+  }
+  const LinkFaultSpec& spec = state != nullptr ? state->spec : default_spec_;
+  if (spec.drop_probability <= 0.0) return false;
+  if (rng_.UniformDouble() >= spec.drop_probability) return false;
+  ++stats_.dropped_segments;
+  return true;
+}
+
+int64_t FaultInjector::DrawSpikeNs(int src_host, int dst_host) {
+  const LinkFaultSpec& spec = SpecFor(src_host, dst_host);
+  if (spec.spike_probability <= 0.0) return 0;
+  if (rng_.UniformDouble() >= spec.spike_probability) return 0;
+  ++stats_.latency_spikes;
+  if (spec.spike_max_ns <= spec.spike_min_ns) return spec.spike_min_ns;
+  return spec.spike_min_ns +
+         static_cast<int64_t>(rng_.UniformDouble() *
+                              static_cast<double>(spec.spike_max_ns - spec.spike_min_ns));
+}
+
+const std::vector<DownWindow>& FaultInjector::down_windows(int host) const {
+  static const std::vector<DownWindow>* empty = new std::vector<DownWindow>();
+  auto it = down_windows_.find(host);
+  return it == down_windows_.end() ? *empty : it->second;
+}
+
+}  // namespace sim
+}  // namespace rdmadl

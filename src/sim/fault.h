@@ -1,0 +1,129 @@
+// Seeded, deterministic fault injection for the simulated fabric.
+//
+// A FaultInjector is configured up front (drop probabilities, latency-spike
+// distributions, link down/up windows, host crash times) and then attached to
+// a net::Fabric with Fabric::SetFaultInjector. From that point the fabric
+// consults it on every transfer:
+//
+//   * per-directed-link drop probability — each wire segment (chunk) draws
+//     once; a dropped segment fails the transfer with kUnavailable at the
+//     segment's delivery time (the ascending-offset prefix that already
+//     landed stays delivered, matching a go-back-N transport);
+//   * deterministic forced drops (drop_first_n) — the first N segments on a
+//     link are lost regardless of probability, for seed-independent tests;
+//   * latency spikes — with spike_probability, a transfer's propagation
+//     latency is inflated by a uniform draw from [spike_min_ns, spike_max_ns];
+//   * link down/up windows — installed onto the Link objects at attach time;
+//     a reservation that would start inside a window queues until the link
+//     recovers (transmissions already in flight when the link goes down are
+//     allowed to finish);
+//   * whole-host crashes — from crash time T every transfer touching the host
+//     fails with kUnavailable (fail-stop from the fabric's point of view;
+//     local compute in the simulation is unaffected).
+//
+// Determinism: all randomness comes from one sim::Rng seeded at construction,
+// and draws happen in simulator event order, so two runs with the same seed
+// and the same configuration produce byte-identical traces. A fabric with no
+// injector attached never consumes randomness and behaves exactly as before.
+#ifndef RDMADL_SRC_SIM_FAULT_H_
+#define RDMADL_SRC_SIM_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace rdmadl {
+namespace sim {
+
+// Fault behaviour of one directed link (src host -> dst host).
+struct LinkFaultSpec {
+  // Probability that any single wire segment is lost.
+  double drop_probability = 0.0;
+  // The first N segments on this link are dropped deterministically (consumed
+  // before the probability draw). Seed-independent; ideal for tests.
+  int drop_first_n = 0;
+  // Probability that a transfer suffers a latency spike, and the spike's
+  // uniform range. One draw per transfer, added to propagation latency.
+  double spike_probability = 0.0;
+  int64_t spike_min_ns = 0;
+  int64_t spike_max_ns = 0;
+};
+
+struct DownWindow {
+  int64_t from_ns = 0;
+  int64_t until_ns = 0;  // Exclusive: the link is usable again at until_ns.
+};
+
+struct FaultInjectorStats {
+  uint64_t dropped_segments = 0;
+  uint64_t forced_drops = 0;
+  uint64_t latency_spikes = 0;
+  uint64_t crash_rejections = 0;  // Transfers refused because a host is dead.
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  // ---- Configuration (call before Fabric::SetFaultInjector) ----
+
+  // Fault spec for the directed pair src_host -> dst_host.
+  void SetLinkFault(int src_host, int dst_host, const LinkFaultSpec& spec);
+  // Fallback spec for every directed pair without an explicit one.
+  void SetDefaultLinkFault(const LinkFaultSpec& spec) { default_spec_ = spec; }
+
+  // The host's NIC port is down in [from_ns, until_ns): nothing new starts
+  // on its egress or ingress links until the window ends.
+  void SetLinkDown(int host, int64_t from_ns, int64_t until_ns);
+  // Flapping link: |cycles| down windows of |down_ns| each, separated by
+  // |up_ns| of healthy time, starting at |first_down_ns|.
+  void FlapLink(int host, int64_t first_down_ns, int64_t down_ns, int64_t up_ns,
+                int cycles);
+
+  // Fail-stop: every transfer touching |host| at or after |at_ns| fails.
+  void CrashHost(int host, int64_t at_ns);
+
+  // ---- Queries (fabric side) ----
+
+  // First dead endpoint of {src_host, dst_host} at |now|, or -1 if both live.
+  int FirstDeadHost(int src_host, int dst_host, int64_t now) const;
+  // True if |host| has crashed by |now|.
+  bool HostDead(int host, int64_t now) const;
+  // Consumes randomness. Deterministic given identical call order.
+  bool ShouldDropSegment(int src_host, int dst_host);
+  // Extra propagation latency for this transfer (0 = no spike). Consumes
+  // randomness when the link's spike probability is non-zero.
+  int64_t DrawSpikeNs(int src_host, int dst_host);
+
+  const std::vector<DownWindow>& down_windows(int host) const;
+  const std::map<int, int64_t>& crash_times() const { return crash_times_; }
+
+  uint64_t seed() const { return seed_; }
+  const FaultInjectorStats& stats() const { return stats_; }
+
+ private:
+  struct LinkState {
+    LinkFaultSpec spec;
+    int forced_drops_remaining = 0;
+  };
+
+  // Mutable per-link state for the directed pair, or nullptr if none.
+  LinkState* FindState(int src_host, int dst_host);
+  const LinkFaultSpec& SpecFor(int src_host, int dst_host);
+
+  uint64_t seed_;
+  Rng rng_;
+  LinkFaultSpec default_spec_;
+  std::map<std::pair<int, int>, LinkState> links_;
+  std::map<int, std::vector<DownWindow>> down_windows_;
+  std::map<int, int64_t> crash_times_;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace sim
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_SIM_FAULT_H_

@@ -65,5 +65,28 @@ Status Simulator::RunUntilPredicate(const std::function<bool()>& done, uint64_t 
   return OkStatus();
 }
 
+Status Simulator::RunUntilPredicateOrDeadline(const std::function<bool()>& done,
+                                              int64_t deadline, uint64_t max_events) {
+  stop_requested_ = false;
+  uint64_t fired = 0;
+  while (!stop_requested_ && !done()) {
+    if (fired++ >= max_events) {
+      return Status(StatusCode::kDeadlineExceeded,
+                    "simulator event cap hit; likely a polling livelock");
+    }
+    if (queue_.empty()) {
+      return Status(StatusCode::kFailedPrecondition,
+                    "event queue drained before predicate became true");
+    }
+    if (queue_.top().time > deadline) {
+      if (now_ < deadline) now_ = deadline;
+      return Status(StatusCode::kDeadlineExceeded,
+                    "virtual-time deadline reached before predicate became true");
+    }
+    Step();
+  }
+  return OkStatus();
+}
+
 }  // namespace sim
 }  // namespace rdmadl

@@ -62,6 +62,13 @@ class Simulator {
   Status RunUntilPredicate(const std::function<bool()>& done,
                            uint64_t max_events = kDefaultMaxEvents);
 
+  // Like RunUntilPredicate, but gives up with kDeadlineExceeded once the next
+  // event lies past |deadline| (virtual time advances to the deadline so the
+  // caller observes the elapsed budget). Events beyond the deadline stay
+  // queued; the caller is expected to abort or drain them.
+  Status RunUntilPredicateOrDeadline(const std::function<bool()>& done, int64_t deadline,
+                                     uint64_t max_events = kDefaultMaxEvents);
+
   // Makes the current Run() call return after the in-flight event completes.
   void Stop() { stop_requested_ = true; }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/sim/fault.h"
+#include "src/util/logging.h"
 #include "src/util/strings.h"
 
 namespace rdmadl {
@@ -312,6 +314,7 @@ Status TrainingDriver::Initialize(int warmup_steps) {
   session_options.executor.num_workers = config_.executor_workers;
   session_options.executor.batch_multiplier = std::max(
       1.0, static_cast<double>(config_.batch_size) / config_.model.saturation_batch);
+  session_options.step_timeout_ns = config_.step_timeout_ns;
   session_ = std::make_unique<runtime::DistributedSession>(cluster_.get(), mechanism_,
                                                            graph_.get(), session_options);
   RDMADL_RETURN_IF_ERROR(session_->Setup());
@@ -328,6 +331,7 @@ Status TrainingDriver::Initialize(int warmup_steps) {
     copts.pipeline_depth = config_.collective_pipeline_depth;
     copts.materialize = false;  // Virtual gradient buffers: timing only.
     copts.num_cqs = config_.num_cqs;
+    copts.op_timeout_ns = config_.step_timeout_ns;
     RDMADL_ASSIGN_OR_RETURN(
         collective_, collective::CollectiveGroup::Create(
                          cluster_->directory(), hosts,
@@ -340,7 +344,17 @@ Status TrainingDriver::Initialize(int warmup_steps) {
   return OkStatus();
 }
 
-Status TrainingDriver::RunStep() {
+namespace {
+
+bool IsRetryableStepFailure(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kAborted ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
+
+Status TrainingDriver::RunStepOnce() {
   RDMADL_RETURN_IF_ERROR(session_->RunStep());
   if (collective_ == nullptr) return OkStatus();
   // Conservative bound: the all-reduce starts only after the whole compute
@@ -354,6 +368,50 @@ Status TrainingDriver::RunStep() {
   RDMADL_RETURN_IF_ERROR(
       cluster_->simulator()->RunUntilPredicate([&] { return done; }));
   return reduce_status;
+}
+
+Status TrainingDriver::QuiesceAfterFailedStep() {
+  // Drain everything still scheduled: late completions of the dead step fire
+  // into their epoch-guarded (no-op) closures instead of into the retry.
+  RDMADL_RETURN_IF_ERROR(cluster_->simulator()->Run());
+  for (const std::string& device : cluster_->device_names()) {
+    RDMADL_RETURN_IF_ERROR(cluster_->host(device)->rdma_device()->RecoverChannels());
+  }
+  if (collective_ != nullptr) RDMADL_RETURN_IF_ERROR(collective_->ResetTransport());
+  if (zerocopy_ != nullptr) zerocopy_->ResetTransientState();
+  return OkStatus();
+}
+
+Status TrainingDriver::RunStep() {
+  Status status = RunStepOnce();
+  for (int attempt = 0; attempt < config_.max_step_retries; ++attempt) {
+    if (status.ok() || !IsRetryableStepFailure(status)) break;
+    // Fail-stop crash: the host never comes back, so a retry can only time
+    // out again. Surface the typed error immediately.
+    const sim::FaultInjector* injector = cluster_->fabric()->fault_injector();
+    if (injector != nullptr) {
+      const int64_t now = cluster_->simulator()->Now();
+      for (const auto& [host, at_ns] : injector->crash_times()) {
+        if (at_ns <= now) {
+          // Drain abandoned events before surfacing the error so the cluster
+          // is left quiescent (in-flight closures fire into their
+          // epoch-guarded no-ops instead of lingering in the queue).
+          Status quiesce = QuiesceAfterFailedStep();
+          if (!quiesce.ok()) {
+            LOG(WARNING) << "quiesce after crash detection failed: " << quiesce;
+          }
+          return Unavailable(
+              StrCat("host", host, " crashed at t=", at_ns, "ns; step cannot complete (",
+                     status.message(), ")"));
+        }
+      }
+    }
+    LOG(WARNING) << "step failed (" << status << "); retry " << attempt + 1 << "/"
+                 << config_.max_step_retries;
+    RDMADL_RETURN_IF_ERROR(QuiesceAfterFailedStep());
+    status = RunStepOnce();
+  }
+  return status;
 }
 
 StatusOr<double> TrainingDriver::MeasureStepTimeMs(int steps) {

@@ -68,6 +68,17 @@ struct TrainingConfig {
   int executor_workers = 4;
   int num_cqs = 4;           // §5: "4 CQs per device and 4 QPs per connection".
   int num_qps_per_peer = 4;
+  // ---- Fault tolerance (pair with sim::FaultInjector on the fabric) ----
+  // Virtual-time budget per step: a session step (or collective op) still
+  // incomplete after this long is aborted with kDeadlineExceeded instead of
+  // hanging virtual time. 0 = no deadline.
+  int64_t step_timeout_ns = 0;
+  // After a retryable failure (kUnavailable / kAborted / kDeadlineExceeded)
+  // the driver quiesces the simulator, recovers every errored QP and resets
+  // mechanism/collective transient state, then re-runs the step — up to this
+  // many times before surfacing the error. Steps retried this way repeat
+  // their compute, so throughput numbers degrade gracefully under faults.
+  int max_step_retries = 0;
 };
 
 // Builds the placed graph. |graph| must be empty.
@@ -91,7 +102,10 @@ class TrainingDriver {
   Status Initialize(int warmup_steps = 2);
 
   // One training step: a session step, plus (in kAllReduce mode) the gradient
-  // all-reduce of every parameter element.
+  // all-reduce of every parameter element. Under fault injection, transient
+  // transport failures are retried per TrainingConfig::max_step_retries; a
+  // crashed host short-circuits to a typed kUnavailable error (fail-stop
+  // hosts never heal, so retrying would only burn virtual time).
   Status RunStep();
 
   // Runs |steps| steps and returns the mean virtual step time in ms.
@@ -110,6 +124,12 @@ class TrainingDriver {
   collective::CollectiveGroup* collective() { return collective_.get(); }
 
  private:
+  Status RunStepOnce();
+  // Post-failure cleanup: drains the simulator (stale events fire into their
+  // epoch-guarded no-op closures), recovers errored QPs on every process and
+  // clears mechanism/collective transient state.
+  Status QuiesceAfterFailedStep();
+
   TrainingConfig config_;
   std::unique_ptr<runtime::Cluster> cluster_;
   std::unique_ptr<graph::Graph> graph_;

@@ -92,6 +92,9 @@ inline Status Unavailable(std::string msg) {
 inline Status Aborted(std::string msg) {
   return Status(StatusCode::kAborted, std::move(msg));
 }
+inline Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
 
 // StatusOr<T>: either a value or an error status. Accessing the value of an
 // errored StatusOr is a programming error (asserts in debug builds).

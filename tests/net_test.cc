@@ -27,7 +27,7 @@ TEST_F(FabricTest, TransferCompletesAfterBandwidthAndLatency) {
   const uint64_t bytes = 1 << 20;  // 1 MB
   int64_t completed_at = -1;
   fabric.Transfer(0, 1, bytes, Plane::kRdma, 0, nullptr,
-                  [&] { completed_at = simulator_.Now(); });
+                  [&](Status s) { completed_at = simulator_.Now(); });
   ASSERT_TRUE(simulator_.Run().ok());
   const int64_t wire_ns =
       static_cast<int64_t>(bytes / cost_.rdma_bandwidth_bytes_per_sec * 1e9);
@@ -44,7 +44,7 @@ TEST_F(FabricTest, ChunksArriveInAscendingOffsetOrder) {
   fabric.Transfer(
       0, 1, 3 * cost_.rdma_mtu_bytes + 17, Plane::kRdma, 0,
       [&](uint64_t offset, uint64_t length) { offsets.push_back(offset); },
-      [&] { complete = true; });
+      [&](Status s) { complete = s.ok(); });
   ASSERT_TRUE(simulator_.Run().ok());
   EXPECT_TRUE(complete);
   ASSERT_EQ(offsets.size(), 4u);
@@ -70,12 +70,13 @@ TEST_F(FabricTest, TcpPlaneIsSlowerThanRdma) {
   const uint64_t bytes = 8 << 20;
   int64_t rdma_done = 0, tcp_done = 0;
   fabric.Transfer(0, 1, bytes, Plane::kRdma, 0, nullptr,
-                  [&] { rdma_done = simulator_.Now(); });
+                  [&](Status s) { rdma_done = simulator_.Now(); });
   ASSERT_TRUE(simulator_.Run().ok());
 
   sim::Simulator sim2;
   Fabric fabric2(&sim2, cost_, 2);
-  fabric2.Transfer(0, 1, bytes, Plane::kTcp, 0, nullptr, [&] { tcp_done = sim2.Now(); });
+  fabric2.Transfer(0, 1, bytes, Plane::kTcp, 0, nullptr,
+                   [&](Status s) { tcp_done = sim2.Now(); });
   ASSERT_TRUE(sim2.Run().ok());
   EXPECT_GT(tcp_done, 2 * rdma_done);
 }
@@ -85,8 +86,10 @@ TEST_F(FabricTest, ConcurrentTransfersShareEgressLink) {
   const uint64_t bytes = 4 << 20;
   int64_t t1 = 0, t2 = 0;
   // Two transfers from host 0 contend on its egress.
-  fabric.Transfer(0, 1, bytes, Plane::kRdma, 0, nullptr, [&] { t1 = simulator_.Now(); });
-  fabric.Transfer(0, 2, bytes, Plane::kRdma, 0, nullptr, [&] { t2 = simulator_.Now(); });
+  fabric.Transfer(0, 1, bytes, Plane::kRdma, 0, nullptr,
+                  [&](Status s) { t1 = simulator_.Now(); });
+  fabric.Transfer(0, 2, bytes, Plane::kRdma, 0, nullptr,
+                  [&](Status s) { t2 = simulator_.Now(); });
   ASSERT_TRUE(simulator_.Run().ok());
   const int64_t one_wire_ns =
       static_cast<int64_t>(bytes / cost_.rdma_bandwidth_bytes_per_sec * 1e9);
@@ -98,7 +101,7 @@ TEST_F(FabricTest, ConcurrentTransfersShareEgressLink) {
 TEST_F(FabricTest, LoopbackDoesNotUseEgress) {
   Fabric fabric(&simulator_, cost_, 2);
   bool done = false;
-  fabric.Transfer(0, 0, 1 << 20, Plane::kRdma, 0, nullptr, [&] { done = true; });
+  fabric.Transfer(0, 0, 1 << 20, Plane::kRdma, 0, nullptr, [&](Status s) { done = s.ok(); });
   ASSERT_TRUE(simulator_.Run().ok());
   EXPECT_TRUE(done);
   EXPECT_EQ(fabric.host(0)->egress().busy_ns_total(), 0);
@@ -110,7 +113,8 @@ TEST_F(FabricTest, ZeroByteTransferStillCompletes) {
   bool done = false;
   int chunks = 0;
   fabric.Transfer(
-      0, 1, 0, Plane::kRdma, 0, [&](uint64_t, uint64_t) { ++chunks; }, [&] { done = true; });
+      0, 1, 0, Plane::kRdma, 0, [&](uint64_t, uint64_t) { ++chunks; },
+      [&](Status s) { done = s.ok(); });
   ASSERT_TRUE(simulator_.Run().ok());
   EXPECT_TRUE(done);
   EXPECT_EQ(chunks, 0);
@@ -122,13 +126,14 @@ TEST_F(FabricTest, InitiationDelayShiftsCompletion) {
   {
     sim::Simulator s1;
     Fabric f1(&s1, cost_, 2);
-    f1.Transfer(0, 1, 4096, Plane::kRdma, 0, nullptr, [&] { t_no_delay = s1.Now(); });
+    f1.Transfer(0, 1, 4096, Plane::kRdma, 0, nullptr, [&](Status s) { t_no_delay = s1.Now(); });
     ASSERT_TRUE(s1.Run().ok());
   }
   {
     sim::Simulator s2;
     Fabric f2(&s2, cost_, 2);
-    f2.Transfer(0, 1, 4096, Plane::kRdma, 50'000, nullptr, [&] { t_delay = s2.Now(); });
+    f2.Transfer(0, 1, 4096, Plane::kRdma, 50'000, nullptr,
+                [&](Status s) { t_delay = s2.Now(); });
     ASSERT_TRUE(s2.Run().ok());
   }
   EXPECT_EQ(t_delay - t_no_delay, 50'000);
@@ -152,6 +157,35 @@ TEST(LinkTest, ReserveSerializes) {
   EXPECT_EQ(link.Reserve(100, 50), 200);  // Starts after the previous slot.
   EXPECT_EQ(link.Reserve(500, 50), 550);  // Idle gap allowed.
   EXPECT_EQ(link.busy_ns_total(), 150);
+}
+
+TEST(LinkTest, ReserveQueuesPastDownWindow) {
+  Link link("test");
+  link.AddDownWindow(1000, 5000);
+  // A reservation that would start inside the window waits for the link to
+  // come back up, then starts immediately.
+  EXPECT_EQ(link.Reserve(2000, 100), 5100);
+  // Before the window the link is usable...
+  Link link2("test2");
+  link2.AddDownWindow(1000, 5000);
+  EXPECT_EQ(link2.Reserve(0, 100), 100);
+  // ...and a slot that STARTS before the window may finish inside it (packets
+  // in flight when the link drops are not clawed back).
+  EXPECT_EQ(link2.Reserve(900, 300), 1200);
+  // The backlog accumulated behind the window drains in FIFO order after it.
+  EXPECT_EQ(link2.Reserve(1500, 100), 5100);
+  EXPECT_EQ(link2.Reserve(1500, 100), 5200);
+}
+
+TEST(LinkTest, MultipleDownWindowsAllRespected) {
+  Link link("test");
+  link.AddDownWindow(100, 200);
+  link.AddDownWindow(300, 400);
+  // Starting inside window 1 pushes to 200; the slot [200, 250) fits between
+  // the windows.
+  EXPECT_EQ(link.Reserve(150, 50), 250);
+  // Starting inside window 2 pushes past it.
+  EXPECT_EQ(link.Reserve(350, 50), 450);
 }
 
 }  // namespace

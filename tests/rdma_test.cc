@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/rdma/verbs.h"
+#include "src/sim/fault.h"
 
 namespace rdmadl {
 namespace rdma {
@@ -418,6 +419,177 @@ TEST_F(VerbsTest, ConnectTwiceFails) {
   auto [qa, qb] = ConnectedPair(0, 1);
   auto [qc, qd] = ConnectedPair(0, 1);
   EXPECT_EQ(qa->Connect(qc).code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Transport error paths under fault injection: retry, error-state flush
+// semantics, and recovery.
+// ---------------------------------------------------------------------------
+
+TEST_F(VerbsTest, TransportRetryRecoversFromDroppedSegments) {
+  sim::FaultInjector injector(1);
+  sim::LinkFaultSpec spec;
+  spec.drop_first_n = 2;  // First two wire attempts lose a segment.
+  injector.SetLinkFault(0, 1, spec);
+  fabric_.SetFaultInjector(&injector);
+
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> src(64 * 1024), dst(64 * 1024, 0);
+  std::iota(src.begin(), src.end(), 0);
+  auto src_mr = rdma_.nic(0)->RegisterMemory(src.data(), src.size());
+  auto dst_mr = rdma_.nic(1)->RegisterMemory(dst.data(), dst.size());
+
+  SendWorkRequest wr;
+  wr.wr_id = 11;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = reinterpret_cast<uint64_t>(src.data());
+  wr.lkey = src_mr->lkey;
+  wr.length = src.size();
+  wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+  wr.rkey = dst_mr->rkey;
+  ASSERT_TRUE(qa->PostSend(wr).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+
+  // The retransmissions were transparent: one OK completion, correct bytes.
+  EXPECT_EQ(src, dst);
+  WorkCompletion wc;
+  ASSERT_TRUE(qa->send_cq()->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 11u);
+  EXPECT_TRUE(wc.status.ok());
+  EXPECT_FALSE(qa->send_cq()->Poll(&wc));  // Exactly one completion.
+  EXPECT_EQ(rdma_.nic(0)->stats().retransmissions, 2u);
+  EXPECT_FALSE(qa->in_error());
+  EXPECT_EQ(injector.stats().forced_drops, 2u);
+}
+
+TEST_F(VerbsTest, RetryExhaustionErrorsQpAndFlushesQueuedWrsInOrder) {
+  sim::FaultInjector injector(1);
+  sim::LinkFaultSpec spec;
+  spec.drop_first_n = 1'000'000;  // The link never heals.
+  injector.SetLinkFault(0, 1, spec);
+  fabric_.SetFaultInjector(&injector);
+
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> src(4096), dst(4096);
+  auto src_mr = rdma_.nic(0)->RegisterMemory(src.data(), src.size());
+  auto dst_mr = rdma_.nic(1)->RegisterMemory(dst.data(), dst.size());
+  for (uint64_t id = 1; id <= 3; ++id) {
+    SendWorkRequest wr;
+    wr.wr_id = id;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = reinterpret_cast<uint64_t>(src.data());
+    wr.lkey = src_mr->lkey;
+    wr.length = src.size();
+    wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+    wr.rkey = dst_mr->rkey;
+    ASSERT_TRUE(qa->PostSend(wr).ok());
+  }
+  ASSERT_TRUE(simulator_.Run().ok());
+
+  EXPECT_TRUE(qa->in_error());
+  EXPECT_EQ(qa->error_cause().code(), StatusCode::kUnavailable);
+  // CQ drains in FIFO order: the failing WR first with the transport error,
+  // then the flushed WRs with kAborted.
+  WorkCompletion wc;
+  ASSERT_TRUE(qa->send_cq()->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 1u);
+  EXPECT_EQ(wc.status.code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(qa->send_cq()->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 2u);
+  EXPECT_EQ(wc.status.code(), StatusCode::kAborted);
+  ASSERT_TRUE(qa->send_cq()->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 3u);
+  EXPECT_EQ(wc.status.code(), StatusCode::kAborted);
+  EXPECT_FALSE(qa->send_cq()->Poll(&wc));
+  EXPECT_EQ(rdma_.nic(0)->stats().flushed_wrs, 2u);
+  // The retry budget was fully spent on the first WR.
+  EXPECT_EQ(rdma_.nic(0)->stats().retransmissions,
+            static_cast<uint64_t>(cost_.rdma_transport_retry_count));
+}
+
+TEST_F(VerbsTest, PostOnErroredQpCompletesWithFlushStatus) {
+  sim::FaultInjector injector(1);
+  sim::LinkFaultSpec spec;
+  spec.drop_first_n = 1'000'000;
+  injector.SetLinkFault(0, 1, spec);
+  fabric_.SetFaultInjector(&injector);
+
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> src(1024), dst(1024);
+  auto src_mr = rdma_.nic(0)->RegisterMemory(src.data(), src.size());
+  auto dst_mr = rdma_.nic(1)->RegisterMemory(dst.data(), dst.size());
+  SendWorkRequest wr;
+  wr.wr_id = 21;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = reinterpret_cast<uint64_t>(src.data());
+  wr.lkey = src_mr->lkey;
+  wr.length = src.size();
+  wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+  wr.rkey = dst_mr->rkey;
+  ASSERT_TRUE(qa->PostSend(wr).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+  ASSERT_TRUE(qa->in_error());
+  WorkCompletion wc;
+  while (qa->send_cq()->Poll(&wc)) {
+  }
+
+  // Posts against the errored QP are accepted (so device-layer CHECKs hold)
+  // but complete with the flush status — never silently swallowed.
+  wr.wr_id = 22;
+  ASSERT_TRUE(qa->PostSend(wr).ok());
+  RecvWorkRequest rwr;
+  rwr.wr_id = 23;
+  rwr.addr = reinterpret_cast<uint64_t>(src.data());
+  rwr.lkey = src_mr->lkey;
+  rwr.length = src.size();
+  ASSERT_TRUE(qa->PostRecv(rwr).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+  ASSERT_TRUE(qa->send_cq()->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 22u);
+  EXPECT_EQ(wc.status.code(), StatusCode::kAborted);
+  ASSERT_TRUE(qa->recv_cq()->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 23u);
+  EXPECT_EQ(wc.status.code(), StatusCode::kAborted);
+}
+
+TEST_F(VerbsTest, RecoverReturnsErroredQpToService) {
+  sim::FaultInjector injector(1);
+  sim::LinkFaultSpec spec;
+  // Exactly the initial attempt plus every retry: the budget runs dry, then
+  // the link heals.
+  spec.drop_first_n = 1 + cost_.rdma_transport_retry_count;
+  injector.SetLinkFault(0, 1, spec);
+  fabric_.SetFaultInjector(&injector);
+
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> src(8192), dst(8192, 0);
+  std::iota(src.begin(), src.end(), 0);
+  auto src_mr = rdma_.nic(0)->RegisterMemory(src.data(), src.size());
+  auto dst_mr = rdma_.nic(1)->RegisterMemory(dst.data(), dst.size());
+  SendWorkRequest wr;
+  wr.wr_id = 31;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = reinterpret_cast<uint64_t>(src.data());
+  wr.lkey = src_mr->lkey;
+  wr.length = src.size();
+  wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+  wr.rkey = dst_mr->rkey;
+  ASSERT_TRUE(qa->PostSend(wr).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+  ASSERT_TRUE(qa->in_error());
+  WorkCompletion wc;
+  ASSERT_TRUE(qa->send_cq()->Poll(&wc));
+  EXPECT_EQ(wc.status.code(), StatusCode::kUnavailable);
+
+  ASSERT_TRUE(qa->Recover().ok());
+  EXPECT_FALSE(qa->in_error());
+  wr.wr_id = 32;
+  ASSERT_TRUE(qa->PostSend(wr).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+  ASSERT_TRUE(qa->send_cq()->Poll(&wc));
+  EXPECT_EQ(wc.wr_id, 32u);
+  EXPECT_TRUE(wc.status.ok());
+  EXPECT_EQ(src, dst);
 }
 
 }  // namespace
