@@ -9,12 +9,20 @@
 #   scripts/check.sh --plain      # only the plain build + ctest
 #   scripts/check.sh --chaos      # plain build, then sweep the seeded chaos
 #                                 # suites over RDMADL_FAULT_SEED=1..10
+#   scripts/check.sh --elastic    # plain build, then sweep the elastic
+#                                 # recovery suite (crash schedules derived
+#                                 # from RDMADL_FAULT_SEED) over the seeds
+#
+# The chaos/elastic suites are also registered as ctest labels, so
+# `ctest -L chaos` / `ctest -L elastic` run a two-seed smoke subset as part
+# of any ctest invocation; the modes here sweep the full seed list.
 #
 # Environment:
 #   BUILD_DIR    override the build directory (default: build, or
 #                build-sanitize for the sanitizer pass)
 #   JOBS         parallelism (default: nproc)
-#   CHAOS_SEEDS  space-separated seed list for --chaos (default: 1..10)
+#   CHAOS_SEEDS  space-separated seed list for --chaos/--elastic
+#                (default: 1..10)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +33,7 @@ for arg in "$@"; do
     --sanitize) MODE=sanitize ;;
     --plain) MODE=plain ;;
     --chaos) MODE=chaos ;;
+    --elastic) MODE=elastic ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -63,5 +72,21 @@ case "$MODE" in
         --gtest_filter='Seeds/HealingFaultAllReduceTest.*'
     done
     echo "chaos sweep passed for seeds: ${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}"
+    ;;
+  elastic)
+    # Elastic recovery sweep: crash one host per scenario (worker, PS,
+    # all-reduce peer) and require detection + reconfiguration + rollback to
+    # finish the run on the survivors. The membership spike property test
+    # rides along so each seed also attests "no false positives under load".
+    BUILD_DIR="${BUILD_DIR:-build}"
+    cmake -B "$BUILD_DIR" -S . -DRDMADL_SANITIZE=OFF
+    cmake --build "$BUILD_DIR" -j "$JOBS"
+    for seed in ${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}; do
+      echo "=== elastic sweep: RDMADL_FAULT_SEED=$seed ==="
+      RDMADL_FAULT_SEED="$seed" "$BUILD_DIR/tests/elastic_test" --gtest_brief=1
+      RDMADL_FAULT_SEED="$seed" "$BUILD_DIR/tests/control_test" --gtest_brief=1 \
+        --gtest_filter='MembershipPropertyTest.*'
+    done
+    echo "elastic sweep passed for seeds: ${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}"
     ;;
 esac

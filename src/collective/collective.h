@@ -100,6 +100,7 @@ struct CollectiveStats {
   int64_t ring_steps = 0;    // Chunk transfers posted (any algorithm).
   uint64_t bytes_sent = 0;   // Payload bytes put on the wire.
   int64_t setup_rpcs = 0;    // Address-distribution calls (setup only).
+  int64_t reconfigurations = 0;  // Membership-change ring rebuilds.
 };
 
 using DoneCallback = std::function<void(const Status&)>;
@@ -149,6 +150,19 @@ class CollectiveGroup {
   // Recovers every rank's errored QPs (after a failed/timed-out collective,
   // once the simulator has quiesced) so the next op starts on clean channels.
   Status ResetTransport();
+
+  // Elastic membership change: shrinks the group to |alive_hosts| (which must
+  // be a subset of the current members), destroying dead ranks' devices and
+  // rebuilding the ring over the survivors. The per-step chunk capacity grows
+  // as N shrinks (ceil(max_elements / N)), so ring slots and flag blocks are
+  // reallocated and re-registered; the data buffers and their registrations
+  // persist. The next collective re-runs the ring-buffer address exchange.
+  // Preconditions: no collective in flight, simulator quiesced (no in-flight
+  // closures may reference a dead rank's device).
+  Status Reconfigure(const std::vector<int>& alive_hosts);
+
+  // Host ids of the current members, in rank order.
+  std::vector<int> hosts() const;
 
   // The N-way chunk partition used by ReduceScatter/AllGather/AllReduce
   // (chunk c of a |count|-element vector): {offset, length} in elements.

@@ -413,6 +413,137 @@ Status CollectiveGroup::ResetTransport() {
   return OkStatus();
 }
 
+std::vector<int> CollectiveGroup::hosts() const {
+  std::vector<int> out;
+  out.reserve(ranks_.size());
+  for (const auto& rank : ranks_) out.push_back(rank->endpoint.host_id);
+  return out;
+}
+
+Status CollectiveGroup::Reconfigure(const std::vector<int>& alive_hosts) {
+  if (op_) return FailedPrecondition("cannot reconfigure with a collective in flight");
+  if (alive_hosts.empty()) {
+    return InvalidArgument("reconfigure needs at least one survivor");
+  }
+  std::unordered_set<int> alive(alive_hosts.begin(), alive_hosts.end());
+  if (alive.size() != alive_hosts.size()) {
+    return InvalidArgument("duplicate host in survivor list");
+  }
+  std::unordered_set<int> current;
+  for (const auto& rank : ranks_) current.insert(rank->endpoint.host_id);
+  for (int host : alive_hosts) {
+    if (current.count(host) == 0) {
+      return InvalidArgument(StrCat("host ", host, " is not a member of this group"));
+    }
+  }
+
+  // Drop dead ranks. Destroying a rank's device unbinds its endpoint; the
+  // NIC-owned QPs survivors hold toward it stay valid but are never used
+  // again (the stale PeerConnection entries are inert). The quiesce
+  // precondition guarantees no scheduled closure still references the device.
+  std::vector<std::unique_ptr<Rank>> survivors;
+  for (auto& rank : ranks_) {
+    if (alive.count(rank->endpoint.host_id) > 0) {
+      survivors.push_back(std::move(rank));
+    } else {
+      rank->device->DropPendingCallbacks();
+    }
+  }
+  ranks_ = std::move(survivors);
+
+  const int n = size();
+  const int lanes = options_.pipeline_depth;
+  const uint64_t data_bytes = max_elements_ * sizeof(float);
+
+  // Same layout math as Init, for the smaller ring. chunk_cap grows as n
+  // shrinks (ceil), so the slot area can be *larger* per rank than before —
+  // slots and flags are reallocated; data buffers persist.
+  chunk_cap_elements_ = CeilDiv(max_elements_, static_cast<uint64_t>(n));
+  ring_slot_bytes_ = static_cast<uint64_t>(lanes) * (n > 1 ? n - 1 : 0) * chunk_cap_elements_ *
+                     sizeof(float);
+  naive_slot_offset_ = ring_slot_bytes_;
+  const int ring_flags = lanes * (n > 1 ? 2 * (n - 1) : 1);
+  flag_capacity_ = std::max({ring_flags, n, options_.broadcast_segments, 1});
+  flag_capacity_ = static_cast<int>(CeilDiv(flag_capacity_, 64) * 64);
+
+  for (int i = 0; i < n; ++i) {
+    Rank* rank = ranks_[i].get();
+    rank->index = i;
+
+    RDMADL_ASSIGN_OR_RETURN(rank->flag_region,
+                            rank->device->AllocateMemRegion(flag_capacity_ + 1));
+    std::memset(rank->flag_region.data(), 0, flag_capacity_ + 1);
+    rank->flag_region.data()[flag_capacity_] = 1;
+
+    uint64_t slot_bytes = ring_slot_bytes_;
+    if (options_.algorithm == Algorithm::kNaiveGather && i == 0 && n > 1) {
+      slot_bytes += static_cast<uint64_t>(n - 1) * data_bytes;
+    }
+    rank->slot_bytes = slot_bytes;
+
+    uint32_t data_rkey = 0;
+    uint32_t slot_rkey = 0;
+    if (options_.materialize) {
+      data_rkey = rank->data_region.rkey();
+      rank->slot_region = device::MemRegion();
+      rank->slot_addr = 0;
+      rank->slot_lkey = 0;
+      if (slot_bytes > 0) {
+        RDMADL_ASSIGN_OR_RETURN(rank->slot_region,
+                                rank->device->AllocateMemRegion(slot_bytes));
+        rank->slot_addr = reinterpret_cast<uint64_t>(rank->slot_region.data());
+        rank->slot_lkey = rank->slot_region.lkey();
+        slot_rkey = rank->slot_region.rkey();
+      }
+    } else {
+      // virtual_mrs[0] is the data registration; anything after it is the old
+      // slot area, re-registered at the same window offset with the new size.
+      CHECK(!rank->virtual_mrs.empty());
+      data_rkey = rank->virtual_mrs[0].rkey;
+      while (rank->virtual_mrs.size() > 1) {
+        RDMADL_RETURN_IF_ERROR(
+            rank->device->nic()->DeregisterMemory(rank->virtual_mrs.back()));
+        rank->virtual_mrs.pop_back();
+      }
+      rank->slot_lkey = 0;
+      if (slot_bytes > 0) {
+        rank->slot_addr = rank->data_addr + kVirtualSlotOffset;
+        RDMADL_ASSIGN_OR_RETURN(rdma::MemoryRegion slot_mr,
+                                rank->device->nic()->RegisterMemory(
+                                    reinterpret_cast<void*>(rank->slot_addr), slot_bytes));
+        rank->slot_lkey = slot_mr.lkey;
+        slot_rkey = slot_mr.rkey;
+        rank->virtual_mrs.push_back(slot_mr);
+      }
+    }
+
+    rank->peers.assign(n, Rank::PeerAddrs{});
+    rank->peers[i].data = device::RemoteRegion{rank->data_addr, data_rkey, data_bytes};
+    rank->peers[i].slots = device::RemoteRegion{rank->slot_addr, slot_rkey, slot_bytes};
+    rank->peers[i].flags = rank->flag_region.Remote();
+
+    // The address handler captures the rank's index by value; re-register it
+    // (same method name replaces the old handler) with the new index.
+    Rank* self = rank;
+    rank->device->RegisterRpcHandler(
+        "collective/addrs", [self, i](const std::vector<uint8_t>&) {
+          std::vector<uint8_t> out;
+          self->peers[i].data.EncodeTo(&out);
+          self->peers[i].slots.EncodeTo(&out);
+          self->peers[i].flags.EncodeTo(&out);
+          return out;
+        });
+  }
+
+  rank_tracks_.assign(n, std::string());
+  exchanged_ = false;  // The next op re-runs the ring-buffer address exchange.
+  pending_exchanges_ = 0;
+  ++stats_.reconfigurations;
+  sim::TraceInstant("collective",
+                    StrCat("reconfigured to ", n, " ranks"), simulator()->Now());
+  return OkStatus();
+}
+
 void CollectiveGroup::FinishUnit(const std::shared_ptr<Op>& op) {
   if (op->finished) return;
   CHECK_GT(op->pending_units, 0);

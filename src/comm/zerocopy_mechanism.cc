@@ -1,8 +1,11 @@
 #include "src/comm/zerocopy_mechanism.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
+#include "src/net/fabric.h"
+#include "src/sim/trace.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -22,6 +25,10 @@ namespace {
 //   [u32 dtype][u32 ndims][i64 dims[rank]][u64 src_addr][u32 src_rkey]
 //   [u64 payload_bytes][u8 flag]
 size_t MetadataBytes(int rank) { return 4 + 4 + 8 * rank + 8 + 4 + 8 + 1; }
+
+int64_t CostNs(uint64_t bytes, double bytes_per_sec) {
+  return static_cast<int64_t>(static_cast<double>(bytes) / bytes_per_sec * 1e9);
+}
 
 void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
 void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
@@ -65,12 +72,54 @@ struct ZeroCopyRdmaMechanism::EdgeState {
   // finished (released at the next step boundary).
   Tensor hold;
   std::vector<void*> staging_to_free_at_step;  // Freed on BeginStep (dynamic staging).
+
+  // ---- Degradation ladder (survives ResetTransientState by design) ----
+  EdgePath path = EdgePath::kZeroCopy;
+  int consecutive_failures = 0;  // Zero-copy send failures in a row.
+  int degraded_successes = 0;    // Clean degraded sends since demotion.
 };
 
 ZeroCopyRdmaMechanism::ZeroCopyRdmaMechanism(runtime::Cluster* cluster, ZeroCopyOptions options)
     : cluster_(cluster), options_(options) {}
 
-ZeroCopyRdmaMechanism::~ZeroCopyRdmaMechanism() = default;
+ZeroCopyRdmaMechanism::~ZeroCopyRdmaMechanism() {
+  // Return the per-edge arena carve-outs so a rebuilt mechanism (elastic
+  // reconfiguration tears this one down and sets up a fresh one over the
+  // surviving hosts) can re-carve receive buffers from the same registered
+  // arenas. Stale "zc_addr" handlers are overwritten by the next Setup on
+  // every host that still receives.
+  for (auto& [key, s] : edges_) {
+    if (s->protocol == Protocol::kStatic) {
+      if (s->remote_data.addr != 0) {
+        StatusOr<RdmaArena*> arena = s->dst->rdma_arena();
+        if (arena.ok()) {
+          (*arena)->allocator->Deallocate(reinterpret_cast<void*>(s->remote_data.addr));
+        }
+      }
+      if (!s->dst->real_memory() && s->flag_ptr != nullptr) {
+        StatusOr<RdmaArena*> meta = s->dst->meta_arena();
+        if (meta.ok()) (*meta)->allocator->Deallocate(s->flag_ptr);
+      }
+    } else {
+      if (s->meta_block != nullptr) {
+        StatusOr<RdmaArena*> meta = s->dst->meta_arena();
+        if (meta.ok()) (*meta)->allocator->Deallocate(s->meta_block);
+      }
+      if (s->src_meta_staging != nullptr) {
+        StatusOr<RdmaArena*> meta = s->src->meta_arena();
+        if (meta.ok()) (*meta)->allocator->Deallocate(s->src_meta_staging);
+      }
+    }
+    if (!s->staging_to_free_at_step.empty()) {
+      StatusOr<RdmaArena*> arena = s->src->rdma_arena();
+      if (arena.ok()) {
+        for (void* ptr : s->staging_to_free_at_step) {
+          (*arena)->allocator->Deallocate(ptr);
+        }
+      }
+    }
+  }
+}
 
 void ZeroCopyRdmaMechanism::Setup(const std::vector<graph::TransferEdge>& edges,
                                   std::function<void(Status)> done) {
@@ -333,6 +382,20 @@ int64_t ZeroCopyRdmaMechanism::Send(const graph::TransferEdge& edge, const Tenso
     analysis(src).tracer.RecordTransfer(ptr);
   }
 
+  // Degradation ladder gate: a demoted edge stays on the staged TCP path
+  // until its probation window opens, at which point one send re-probes the
+  // zero-copy path (falling through below).
+  if (options_.enable_ladder && s->path == EdgePath::kDegraded) {
+    if (s->degraded_successes >= options_.ladder_probation_after) {
+      s->path = EdgePath::kProbation;
+      ++stats_.probation_probes;
+      sim::TraceInstant("ladder", StrCat(s->edge.key, " probation probe"),
+                        simulator->Now());
+    } else {
+      return SendDegraded(s, tensor, std::move(on_sent));
+    }
+  }
+
   // Classify the source buffer.
   StatusOr<const RdmaArena*> registered = src->ArenaFor(ptr);
   const bool in_gpu = [&] {
@@ -344,6 +407,7 @@ int64_t ZeroCopyRdmaMechanism::Send(const graph::TransferEdge& edge, const Tenso
     // Zero-copy path: the buffer is already RDMA-accessible (host arena, or
     // GPU arena under GPUDirect).
     ++stats_.zero_copy_sends;
+    if (options_.enable_ladder) on_sent = WrapLadder(s, std::move(on_sent));
     const void* send_ptr = ptr;
     const uint32_t lkey = (*registered)->lkey;
     simulator->ScheduleAfter(0, [this, s, send_ptr, lkey, bytes, tensor,
@@ -360,6 +424,13 @@ int64_t ZeroCopyRdmaMechanism::Send(const graph::TransferEdge& edge, const Tenso
   // Staging path: allocate an RDMA-accessible buffer and copy into it.
   StatusOr<RdmaArena*> arena_or = src->rdma_arena();
   if (!arena_or.ok()) {
+    // MR-registration exhaustion (or any arena failure): with the ladder on,
+    // demote the edge and serve this very send over the staged TCP path
+    // instead of failing the step.
+    if (options_.enable_ladder) {
+      LadderDemote(s, "rdma arena unavailable");
+      return SendDegraded(s, tensor, std::move(on_sent));
+    }
     simulator->ScheduleAfter(0, [on_sent = std::move(on_sent), st = arena_or.status()]() {
       on_sent(st);
     });
@@ -368,6 +439,10 @@ int64_t ZeroCopyRdmaMechanism::Send(const graph::TransferEdge& edge, const Tenso
   RdmaArena* arena = *arena_or;
   void* staging = arena->allocator->Allocate(bytes);
   if (staging == nullptr) {
+    if (options_.enable_ladder) {
+      LadderDemote(s, "sender RDMA arena exhausted");
+      return SendDegraded(s, tensor, std::move(on_sent));
+    }
     simulator->ScheduleAfter(0, [on_sent = std::move(on_sent)]() {
       on_sent(ResourceExhausted("sender RDMA arena exhausted"));
     });
@@ -375,6 +450,7 @@ int64_t ZeroCopyRdmaMechanism::Send(const graph::TransferEdge& edge, const Tenso
   }
   const uint32_t lkey = arena->lkey;
 
+  if (options_.enable_ladder) on_sent = WrapLadder(s, std::move(on_sent));
   auto post = [this, s, staging, lkey, bytes, tensor,
                on_sent = std::move(on_sent)]() mutable {
     if (s->protocol == Protocol::kStatic) {
@@ -578,6 +654,113 @@ void ZeroCopyRdmaMechanism::StartDynamicRead(EdgeState* s) {
                             s->phase = RecvPhase::kReady;
                           },
                           /*copy_bytes=*/s->dst->real_memory());
+}
+
+// ---------------------------------------------------------------------------
+// Degradation ladder (§3.3 fallback as a dynamic per-edge state machine).
+
+int64_t ZeroCopyRdmaMechanism::SendDegraded(EdgeState* s, const Tensor& tensor,
+                                            std::function<void(Status)> on_sent) {
+  const uint64_t bytes = tensor.TotalBytes();
+  ++stats_.degraded_sends;
+  stats_.degraded_bytes += bytes;
+  // gRPC-style staged transfer: dispatch + serialize on the sender, TCP
+  // stream on the wire, deserialize + staging copy on the receiver — the same
+  // cost structure as the RPC mechanism this path falls back to.
+  const net::CostModel& cost = s->src->cost();
+  const int64_t sender_ns =
+      cost.rpc_dispatch_overhead_ns + CostNs(bytes, cost.serialize_bytes_per_sec);
+  const int64_t receiver_ns = CostNs(bytes, cost.deserialize_bytes_per_sec) +
+                              CostNs(bytes, cost.staging_memcpy_bytes_per_sec);
+  sim::Simulator* simulator = s->src->simulator();
+  auto on_sent_shared =
+      std::make_shared<std::function<void(Status)>>(std::move(on_sent));
+  cluster_->fabric()->Transfer(
+      s->src->endpoint().host_id, s->dst->endpoint().host_id,
+      std::max<uint64_t>(bytes, 1), net::Plane::kTcp, sender_ns, nullptr,
+      [this, s, tensor, receiver_ns, simulator, on_sent_shared](Status status) {
+        if (!status.ok()) {
+          // The degraded path failed too (e.g. the peer crashed): the edge
+          // stays demoted and its probation progress resets.
+          s->degraded_successes = 0;
+          (*on_sent_shared)(status.failed_edge().empty()
+                                ? status.WithFailedEdge(s->edge.key)
+                                : status);
+          return;
+        }
+        ++s->degraded_successes;
+        // Receiver-side completion surfaces through the same TryRecv states
+        // as an RDMA arrival: static edges land in the preallocated tensor
+        // and raise the flag; dynamic edges materialize the tensor directly.
+        simulator->ScheduleAfter(receiver_ns, [s, tensor]() {
+          if (s->protocol == Protocol::kStatic) {
+            if (s->dst->real_memory()) {
+              std::memcpy(s->recv_tensor.raw_data(), tensor.raw_data(),
+                          tensor.TotalBytes());
+            }
+            *s->flag_ptr = 1;
+          } else {
+            Tensor t(s->dst->default_allocator(), tensor.dtype(), tensor.shape());
+            if (s->dst->real_memory()) {
+              std::memcpy(t.raw_data(), tensor.raw_data(), tensor.TotalBytes());
+            }
+            s->recv_tensor = std::move(t);
+            s->phase = RecvPhase::kReady;
+          }
+        });
+        (*on_sent_shared)(OkStatus());
+      });
+  return sender_ns;
+}
+
+void ZeroCopyRdmaMechanism::LadderDemote(EdgeState* s, const char* why) {
+  if (s->path == EdgePath::kDegraded) return;
+  s->path = EdgePath::kDegraded;
+  s->consecutive_failures = 0;
+  s->degraded_successes = 0;
+  ++stats_.ladder_demotions;
+  sim::TraceInstant("ladder", StrCat(s->edge.key, " demoted to RPC staging: ", why),
+                    s->src->simulator()->Now());
+}
+
+void ZeroCopyRdmaMechanism::LadderPromote(EdgeState* s) {
+  s->path = EdgePath::kZeroCopy;
+  s->consecutive_failures = 0;
+  s->degraded_successes = 0;
+  ++stats_.ladder_promotions;
+  sim::TraceInstant("ladder", StrCat(s->edge.key, " promoted to zero-copy"),
+                    s->src->simulator()->Now());
+}
+
+std::function<void(Status)> ZeroCopyRdmaMechanism::WrapLadder(
+    EdgeState* s, std::function<void(Status)> on_sent) {
+  return [this, s, on_sent = std::move(on_sent)](Status status) {
+    if (status.ok()) {
+      s->consecutive_failures = 0;
+      if (s->path == EdgePath::kProbation) LadderPromote(s);
+      on_sent(status);
+      return;
+    }
+    ++s->consecutive_failures;
+    if (s->path == EdgePath::kProbation) {
+      // The link is still sick: back down; probation restarts from zero
+      // clean degraded sends.
+      s->path = EdgePath::kDegraded;
+      s->degraded_successes = 0;
+      sim::TraceInstant("ladder", StrCat(s->edge.key, " probation failed"),
+                        s->src->simulator()->Now());
+    } else if (s->consecutive_failures >= options_.ladder_demote_after) {
+      LadderDemote(s, "zero-copy failure streak");
+    }
+    on_sent(status.failed_edge().empty() ? status.WithFailedEdge(s->edge.key)
+                                         : status);
+  };
+}
+
+EdgePath ZeroCopyRdmaMechanism::edge_path(const std::string& edge_key) const {
+  auto it = edges_.find(edge_key);
+  CHECK(it != edges_.end()) << "unknown edge " << edge_key;
+  return it->second->path;
 }
 
 uint8_t* ZeroCopyRdmaMechanism::FlagSource(HostRuntime* host) {

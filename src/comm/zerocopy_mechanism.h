@@ -59,6 +59,17 @@ struct ZeroCopyOptions {
   // Force the §3.3 dynamic protocol even for statically known shapes
   // (ablation: measures the metadata + read overhead).
   bool force_dynamic = false;
+  // ---- Per-edge transport degradation ladder (the paper's §3.3 fallback to
+  // the RPC mechanism, made dynamic). Repeated zero-copy failures demote an
+  // edge to an RPC-style staged transfer over the TCP plane; arena or
+  // MR-registration exhaustion demotes immediately (the send that hit the
+  // wall is itself served degraded). After |ladder_probation_after| clean
+  // degraded sends the next send re-probes zero-copy and promotes back on
+  // success. Ladder state deliberately survives ResetTransientState: the
+  // whole point is remembering that an edge is unhealthy across retries.
+  bool enable_ladder = true;
+  int ladder_demote_after = 2;     // Consecutive zero-copy failures to demote.
+  int ladder_probation_after = 3;  // Clean degraded sends before re-probing.
 };
 
 struct ZeroCopyStats {
@@ -69,6 +80,19 @@ struct ZeroCopyStats {
   uint64_t staged_bytes = 0;
   int64_t pcie_copies = 0;
   uint64_t pcie_bytes = 0;
+  // Degradation ladder.
+  int64_t ladder_demotions = 0;
+  int64_t ladder_promotions = 0;
+  int64_t degraded_sends = 0;
+  uint64_t degraded_bytes = 0;
+  int64_t probation_probes = 0;
+};
+
+// Which transport a degradable edge is currently on.
+enum class EdgePath {
+  kZeroCopy,   // Healthy: one-sided RDMA (static or dynamic protocol).
+  kDegraded,   // Demoted: RPC-style staged transfer over the TCP plane.
+  kProbation,  // Re-probing zero-copy after a span of clean degraded sends.
 };
 
 class ZeroCopyRdmaMechanism : public runtime::TransferMechanism {
@@ -97,6 +121,9 @@ class ZeroCopyRdmaMechanism : public runtime::TransferMechanism {
 
   const ZeroCopyStats& stats() const { return stats_; }
 
+  // Current ladder position of |edge_key| (tests and diagnostics).
+  EdgePath edge_path(const std::string& edge_key) const;
+
   // Fault recovery: discards every edge's in-flight receive state (completion
   // flags, dynamic metadata blocks, partially received tensors, sender
   // holds). Call after a failed step has been aborted and the simulator has
@@ -122,6 +149,21 @@ class ZeroCopyRdmaMechanism : public runtime::TransferMechanism {
   void StartDynamicRead(EdgeState* state);
   // The 1-byte "flag = 1" source buffer in |host|'s meta arena.
   uint8_t* FlagSource(runtime::HostRuntime* host);
+
+  // ---- Degradation ladder ----
+  // Serves one send over the staged TCP path (serialize -> TCP stream ->
+  // deserialize + staging copy, then the receiver-side arrival is surfaced
+  // through the same TryRecv states as an RDMA arrival). Returns the
+  // sender-side blocking time in ns.
+  int64_t SendDegraded(EdgeState* state, const tensor::Tensor& tensor,
+                       std::function<void(Status)> on_sent);
+  void LadderDemote(EdgeState* state, const char* why);
+  void LadderPromote(EdgeState* state);
+  // Wraps a zero-copy on_sent callback with ladder bookkeeping (success
+  // clears the failure streak / promotes a probation edge; failure counts
+  // toward demotion and tags the status with the edge key).
+  std::function<void(Status)> WrapLadder(EdgeState* state,
+                                         std::function<void(Status)> on_sent);
 
   // Host-side per-device analyzer state.
   struct DeviceAnalysis {

@@ -286,10 +286,16 @@ void RdmaDevice::DrainCq(rdma::CompletionQueue* cq) {
         // QP is back in service.
         ReleaseRpcSlot(slot);
         continue;
-      } else {
-        LOG(ERROR) << "RPC recv completion error: " << wc.status;
       }
-      PostRpcRecv(qp, slot);  // Keep the receive queue replenished.
+      // Keep the receive queue replenished. A failed completion reaching this
+      // point is a stale flush that surfaced after the QP was already
+      // recovered; its slot may be reposted, but never past the depth a
+      // concurrent RecoverChannels already restored.
+      if (rpc_recv_posted_[qp->qp_num()] >= kRpcRecvDepth) {
+        ReleaseRpcSlot(slot);
+        continue;
+      }
+      PostRpcRecv(qp, slot);
       continue;
     }
     // Send-side completion: Memcpy callback or RPC send slot recycle.
@@ -321,14 +327,27 @@ Status RdmaDevice::RecoverChannels() {
     for (rdma::QueuePair* qp : peer.qps) {
       if (qp->in_error()) RDMADL_RETURN_IF_ERROR(qp->Recover());
     }
-    if (peer.rpc_qp != nullptr && peer.rpc_qp->in_error()) {
+    if (peer.rpc_qp == nullptr) continue;
+    if (peer.rpc_qp->in_error()) {
       RDMADL_RETURN_IF_ERROR(peer.rpc_qp->Recover());
-      while (rpc_recv_posted_[peer.rpc_qp->qp_num()] < kRpcRecvDepth) {
-        PostRpcRecv(peer.rpc_qp, AcquireRpcSlot());
-      }
+    }
+    // Unconditional top-up, so the call is idempotent: a second invocation —
+    // or one racing in-flight flushed recvs whose completions have not drained
+    // yet — finds the counter already at depth and posts nothing. The
+    // counter deliberately includes flushed-but-undrained WRs; their eventual
+    // completions repost themselves (capped at the same depth in DrainCq).
+    while (rpc_recv_posted_[peer.rpc_qp->qp_num()] < kRpcRecvDepth) {
+      PostRpcRecv(peer.rpc_qp, AcquireRpcSlot());
     }
   }
   return OkStatus();
+}
+
+int RdmaDevice::rpc_recvs_posted(const Endpoint& remote) const {
+  auto it = peers_.find(remote);
+  if (it == peers_.end() || it->second.rpc_qp == nullptr) return -1;
+  auto posted = rpc_recv_posted_.find(it->second.rpc_qp->qp_num());
+  return posted == rpc_recv_posted_.end() ? 0 : posted->second;
 }
 
 // --------------------------------------------------------------------- MiniRPC

@@ -164,8 +164,16 @@ class RdmaDevice {
 
   // Recovers every errored QP to this device's peers (data and RPC QPs) after
   // a transport failure has been observed and the simulator has quiesced.
-  // Flushed RPC receive buffers are reposted.
+  // Flushed RPC receive buffers are reposted. Idempotent: repeated calls (even
+  // with flushed recv completions still in flight in the CQs) never over- or
+  // under-fill the RPC receive queues.
   Status RecoverChannels();
+
+  // Outstanding RPC recv WRs toward |remote|'s rpc QP (tests: the recovery
+  // invariant is that this returns the full depth after RecoverChannels).
+  // -1 when not connected. The depth itself is rpc_recv_depth().
+  int rpc_recvs_posted(const Endpoint& remote) const;
+  static constexpr int rpc_recv_depth() { return kRpcRecvDepth; }
 
   // Drops, without invoking, every pending Memcpy and RPC callback. Teardown
   // aid: callbacks abandoned by an aborted step may own tensors whose buffers

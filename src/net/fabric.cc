@@ -80,7 +80,8 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
       if (on_complete) {
         simulator_->ScheduleAt(
             now + latency, [dead, complete_cb = std::move(on_complete)]() {
-              complete_cb(Unavailable(StrCat("host", dead, " crashed")));
+              complete_cb(
+                  Unavailable(StrCat("host", dead, " crashed")).WithFailedHost(dead));
             });
       }
       return;

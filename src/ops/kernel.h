@@ -45,6 +45,9 @@ class ResourceManager {
   void PutVariable(const std::string& name, tensor::Tensor tensor) {
     variables_[name] = std::move(tensor);
   }
+  // Drops a variable (no-op when absent). Elastic reconfiguration uses this
+  // to purge copies whose shard was reassigned to another device.
+  void RemoveVariable(const std::string& name) { variables_.erase(name); }
   sim::Rng& rng() { return rng_; }
   const std::unordered_map<std::string, tensor::Tensor>& variables() const {
     return variables_;

@@ -228,7 +228,8 @@ void QueuePair::CompleteWire(const SendWorkRequest& wr, const Status& status,
   state_ = QpState::kError;
   error_cause_ = Unavailable(StrCat("transport retry limit (",
                                     nic_->cost().rdma_transport_retry_count,
-                                    ") exhausted: ", status.message()));
+                                    ") exhausted: ", status.message()))
+                     .WithContextFrom(status);
   sim::TraceInstant(StrCat("host", nic_->host_id(), ".nic"),
                     StrCat("qp", qp_num_, " -> ERROR: ", status.message()),
                     nic_->simulator()->Now());

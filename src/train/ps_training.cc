@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/sim/fault.h"
+#include "src/sim/trace.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -171,15 +172,20 @@ Status BuildReplica(const ModelSpec& model, int w, int batch_size,
 // without it, a 400 MB fc layer turns one PS into the cluster hotspot.
 constexpr uint64_t kMaxVariableShardBytes = 128ull << 20;
 
-Status BuildDataParallelGraph(const ModelSpec& model, int num_workers, int num_ps,
-                              int batch_size, bool local_only, Graph* graph) {
-  if (num_workers < 1 || num_ps < 1 || batch_size < 1) {
-    return InvalidArgument("workers, ps and batch size must be positive");
-  }
+namespace {
 
-  // Variables, sharded round-robin across parameter servers (§5: "variable
-  // tensors ... are placed in parameter servers in a round-robin fashion"),
-  // with oversized variables partitioned into <= 64 MB slices.
+// Shared core: variables sharded round-robin over |var_devices| (§5:
+// "variable tensors ... are placed in parameter servers in a round-robin
+// fashion"), one replica per listed worker machine (replica w<m> on device
+// "worker:<m>" — the tag survives reconfiguration so checkpoint entries keep
+// their names). Oversized variables are partitioned across the servers.
+Status BuildShardedGraph(const ModelSpec& model, const std::vector<int>& worker_machines,
+                         const std::vector<std::string>& var_devices, int batch_size,
+                         double apply_bytes_per_sec, Graph* graph) {
+  if (worker_machines.empty() || var_devices.empty() || batch_size < 1) {
+    return InvalidArgument("workers, variable devices and batch size must be non-empty");
+  }
+  const int num_ps = static_cast<int>(var_devices.size());
   std::vector<std::vector<VarNode>> layer_vars(model.layers.size());
   int var_index = 0;
   for (size_t l = 0; l < model.layers.size(); ++l) {
@@ -190,7 +196,7 @@ Status BuildDataParallelGraph(const ModelSpec& model, int num_workers, int num_p
               ? 1
               : static_cast<int>(std::min<uint64_t>(
                     (var.bytes() + kMaxVariableShardBytes - 1) / kMaxVariableShardBytes,
-                    std::max<uint64_t>(local_only ? 1 : num_ps, 1)));
+                    std::max<uint64_t>(num_ps, 1)));
       const uint64_t base = total_elements / num_shards;
       uint64_t assigned = 0;
       for (int shard = 0; shard < num_shards; ++shard) {
@@ -199,8 +205,7 @@ Status BuildDataParallelGraph(const ModelSpec& model, int num_workers, int num_p
         assigned += elements;
         const std::string shard_name =
             num_shards == 1 ? var.name : StrCat(var.name, "/part_", shard);
-        const std::string device =
-            local_only ? "worker:0" : StrCat("ps:", var_index % num_ps);
+        const std::string& device = var_devices[var_index % num_ps];
         RDMADL_ASSIGN_OR_RETURN(
             Node * node, graph->AddNode(shard_name, "Variable", std::vector<Node*>{}));
         node->SetAttr("shape", TensorShape{static_cast<int64_t>(elements)});
@@ -212,24 +217,52 @@ Status BuildDataParallelGraph(const ModelSpec& model, int num_workers, int num_p
     }
   }
 
-  const int replicas = local_only ? 1 : num_workers;
-  for (int w = 0; w < replicas; ++w) {
+  for (int w : worker_machines) {
     RDMADL_RETURN_IF_ERROR(
-        BuildReplica(model, w, batch_size, layer_vars,
-                     local_only ? kGpuApplyBytesPerSec : kPsApplyBytesPerSec, graph));
+        BuildReplica(model, w, batch_size, layer_vars, apply_bytes_per_sec, graph));
   }
   return OkStatus();
 }
 
-Status BuildAllReduceGraph(const ModelSpec& model, int num_workers, int batch_size,
+}  // namespace
+
+Status BuildDataParallelGraph(const ModelSpec& model, int num_workers, int num_ps,
+                              int batch_size, bool local_only, Graph* graph) {
+  if (num_workers < 1 || num_ps < 1 || batch_size < 1) {
+    return InvalidArgument("workers, ps and batch size must be positive");
+  }
+  if (local_only) {
+    // The whole graph on one worker: variables unsharded, SGD at GPU rates.
+    return BuildShardedGraph(model, {0}, {"worker:0"}, batch_size, kGpuApplyBytesPerSec,
+                             graph);
+  }
+  std::vector<int> worker_machines(num_workers);
+  for (int w = 0; w < num_workers; ++w) worker_machines[w] = w;
+  std::vector<std::string> ps_devices;
+  ps_devices.reserve(num_ps);
+  for (int p = 0; p < num_ps; ++p) ps_devices.push_back(StrCat("ps:", p));
+  return BuildShardedGraph(model, worker_machines, ps_devices, batch_size,
+                           kPsApplyBytesPerSec, graph);
+}
+
+Status BuildDataParallelGraph(const ModelSpec& model,
+                              const std::vector<int>& worker_machines,
+                              const std::vector<std::string>& ps_devices, int batch_size,
+                              Graph* graph) {
+  return BuildShardedGraph(model, worker_machines, ps_devices, batch_size,
+                           kPsApplyBytesPerSec, graph);
+}
+
+Status BuildAllReduceGraph(const ModelSpec& model,
+                           const std::vector<int>& worker_machines, int batch_size,
                            Graph* graph) {
-  if (num_workers < 1 || batch_size < 1) {
+  if (worker_machines.empty() || batch_size < 1) {
     return InvalidArgument("workers and batch size must be positive");
   }
   // Every worker holds a private, unsharded replica of every variable and
   // applies SGD to it locally at GPU rates; the cross-worker gradient sum is
   // the driver's collective all-reduce, outside the graph.
-  for (int w = 0; w < num_workers; ++w) {
+  for (int w : worker_machines) {
     const std::string dev = StrCat("worker:", w);
     std::vector<std::vector<VarNode>> layer_vars(model.layers.size());
     for (size_t l = 0; l < model.layers.size(); ++l) {
@@ -250,40 +283,22 @@ Status BuildAllReduceGraph(const ModelSpec& model, int num_workers, int batch_si
   return OkStatus();
 }
 
+Status BuildAllReduceGraph(const ModelSpec& model, int num_workers, int batch_size,
+                           Graph* graph) {
+  if (num_workers < 1) return InvalidArgument("workers must be positive");
+  std::vector<int> worker_machines(num_workers);
+  for (int w = 0; w < num_workers; ++w) worker_machines[w] = w;
+  return BuildAllReduceGraph(model, worker_machines, batch_size, graph);
+}
+
 TrainingDriver::TrainingDriver(TrainingConfig config) : config_(std::move(config)) {}
 TrainingDriver::~TrainingDriver() = default;
 
-Status TrainingDriver::Initialize(int warmup_steps) {
-  runtime::ClusterOptions cluster_options;
-  cluster_options.num_machines = config_.num_machines;
-  cluster_options.cost = config_.cost;
-  cluster_options.mode = ops::ComputeMode::kSimulated;
-  cluster_options.process_defaults.rdma_arena_bytes = 96ull << 30;  // Virtual.
-  cluster_options.process_defaults.num_worker_contexts = config_.executor_workers;
-  cluster_options.process_defaults.num_cqs = config_.num_cqs;
-  cluster_options.process_defaults.num_qps_per_peer = config_.num_qps_per_peer;
-  cluster_options.worker_tensors_on_gpu = config_.tensors_on_gpu;
-  cluster_options.worker_gpudirect = config_.gpudirect;
-  cluster_ = std::make_unique<runtime::Cluster>(cluster_options);
-
-  const bool all_reduce = config_.mode == TrainingMode::kAllReduce && !config_.local_only;
-  for (int m = 0; m < config_.num_machines; ++m) {
-    RDMADL_RETURN_IF_ERROR(cluster_->AddProcess(StrCat("worker:", m), m).status());
-    if (!config_.local_only && !all_reduce) {
-      RDMADL_RETURN_IF_ERROR(cluster_->AddProcess(StrCat("ps:", m), m).status());
-    }
-  }
-
-  graph_ = std::make_unique<Graph>();
-  if (all_reduce) {
-    RDMADL_RETURN_IF_ERROR(BuildAllReduceGraph(config_.model, config_.num_machines,
-                                               config_.batch_size, graph_.get()));
-  } else {
-    RDMADL_RETURN_IF_ERROR(BuildDataParallelGraph(config_.model, config_.num_machines,
-                                                  config_.num_machines, config_.batch_size,
-                                                  config_.local_only, graph_.get()));
-  }
-
+void TrainingDriver::MakeMechanism() {
+  session_.reset();  // The session references the mechanism; drop it first.
+  zerocopy_.reset();
+  rpc_.reset();
+  mechanism_ = nullptr;
   switch (config_.mechanism) {
     case MechanismKind::kGrpcTcp:
       rpc_ = std::make_unique<comm::RpcMechanism>(cluster_.get(), net::Plane::kTcp);
@@ -309,6 +324,24 @@ Status TrainingDriver::Initialize(int warmup_steps) {
       break;
     }
   }
+}
+
+Status TrainingDriver::BuildAndSetupSession() {
+  const bool all_reduce = config_.mode == TrainingMode::kAllReduce && !config_.local_only;
+  graph_ = std::make_unique<Graph>();
+  if (all_reduce) {
+    RDMADL_RETURN_IF_ERROR(BuildAllReduceGraph(config_.model, worker_machines_,
+                                               config_.batch_size, graph_.get()));
+  } else if (config_.local_only) {
+    RDMADL_RETURN_IF_ERROR(BuildDataParallelGraph(config_.model, 1, 1, config_.batch_size,
+                                                  /*local_only=*/true, graph_.get()));
+  } else {
+    RDMADL_RETURN_IF_ERROR(BuildDataParallelGraph(config_.model, worker_machines_,
+                                                  ps_devices_, config_.batch_size,
+                                                  graph_.get()));
+  }
+
+  MakeMechanism();
 
   runtime::SessionOptions session_options;
   session_options.executor.num_workers = config_.executor_workers;
@@ -317,12 +350,55 @@ Status TrainingDriver::Initialize(int warmup_steps) {
   session_options.step_timeout_ns = config_.step_timeout_ns;
   session_ = std::make_unique<runtime::DistributedSession>(cluster_.get(), mechanism_,
                                                            graph_.get(), session_options);
-  RDMADL_RETURN_IF_ERROR(session_->Setup());
+  return session_->Setup();
+}
+
+Status TrainingDriver::Initialize(int warmup_steps) {
+  const bool all_reduce = config_.mode == TrainingMode::kAllReduce && !config_.local_only;
+  const bool dedicated_ps =
+      !all_reduce && !config_.local_only && config_.num_ps > 0;
+  const int num_machines =
+      config_.num_machines + (dedicated_ps ? config_.num_ps : 0);
+
+  runtime::ClusterOptions cluster_options;
+  cluster_options.num_machines = num_machines;
+  cluster_options.cost = config_.cost;
+  cluster_options.mode = ops::ComputeMode::kSimulated;
+  cluster_options.process_defaults.rdma_arena_bytes = 96ull << 30;  // Virtual.
+  cluster_options.process_defaults.num_worker_contexts = config_.executor_workers;
+  cluster_options.process_defaults.num_cqs = config_.num_cqs;
+  cluster_options.process_defaults.num_qps_per_peer = config_.num_qps_per_peer;
+  cluster_options.worker_tensors_on_gpu = config_.tensors_on_gpu;
+  cluster_options.worker_gpudirect = config_.gpudirect;
+  cluster_ = std::make_unique<runtime::Cluster>(cluster_options);
+
+  worker_machines_.clear();
+  ps_devices_.clear();
+  ps_machine_of_.clear();
+  for (int m = 0; m < config_.num_machines; ++m) {
+    RDMADL_RETURN_IF_ERROR(cluster_->AddProcess(StrCat("worker:", m), m).status());
+    worker_machines_.push_back(m);
+    if (!config_.local_only && !all_reduce && !dedicated_ps) {
+      const std::string ps_name = StrCat("ps:", m);
+      RDMADL_RETURN_IF_ERROR(cluster_->AddProcess(ps_name, m).status());
+      ps_devices_.push_back(ps_name);
+      ps_machine_of_[ps_name] = m;
+    }
+  }
+  if (dedicated_ps) {
+    for (int p = 0; p < config_.num_ps; ++p) {
+      const int machine = config_.num_machines + p;
+      const std::string ps_name = StrCat("ps:", p);
+      RDMADL_RETURN_IF_ERROR(cluster_->AddProcess(ps_name, machine).status());
+      ps_devices_.push_back(ps_name);
+      ps_machine_of_[ps_name] = machine;
+    }
+  }
+
+  RDMADL_RETURN_IF_ERROR(BuildAndSetupSession());
 
   if (all_reduce) {
     allreduce_elements_ = config_.model.TotalParamBytes() / sizeof(float);
-    std::vector<int> hosts(config_.num_machines);
-    for (int m = 0; m < config_.num_machines; ++m) hosts[m] = m;
     collective::CollectiveOptions copts;
     copts.algorithm = config_.collective_algorithm;
     copts.transport = config_.mechanism == MechanismKind::kGrpcTcp
@@ -334,8 +410,20 @@ Status TrainingDriver::Initialize(int warmup_steps) {
     copts.op_timeout_ns = config_.step_timeout_ns;
     RDMADL_ASSIGN_OR_RETURN(
         collective_, collective::CollectiveGroup::Create(
-                         cluster_->directory(), hosts,
+                         cluster_->directory(), worker_machines_,
                          std::max<uint64_t>(allreduce_elements_, 1), copts));
+  }
+
+  if (config_.elastic) {
+    std::vector<int> machines(num_machines);
+    for (int m = 0; m < num_machines; ++m) machines[m] = m;
+    RDMADL_ASSIGN_OR_RETURN(membership_,
+                            control::MembershipService::Create(
+                                cluster_->directory(), machines, config_.membership));
+    membership_->Start();
+    control::CheckpointOptions ckpt = config_.checkpoint;
+    ckpt.interval_steps = config_.checkpoint_interval_steps;
+    checkpoint_ = std::make_unique<control::CheckpointManager>(cluster_.get(), ckpt);
   }
 
   for (int i = 0; i < warmup_steps; ++i) {
@@ -372,13 +460,17 @@ Status TrainingDriver::RunStepOnce() {
 
 Status TrainingDriver::QuiesceAfterFailedStep() {
   // Drain everything still scheduled: late completions of the dead step fire
-  // into their epoch-guarded (no-op) closures instead of into the retry.
+  // into their epoch-guarded (no-op) closures instead of into the retry. The
+  // failure detector's probe loop would re-arm forever, so it is paused for
+  // the drain (its stale closures no-op too) and resumed after.
+  if (membership_ != nullptr) membership_->Pause();
   RDMADL_RETURN_IF_ERROR(cluster_->simulator()->Run());
   for (const std::string& device : cluster_->device_names()) {
     RDMADL_RETURN_IF_ERROR(cluster_->host(device)->rdma_device()->RecoverChannels());
   }
   if (collective_ != nullptr) RDMADL_RETURN_IF_ERROR(collective_->ResetTransport());
   if (zerocopy_ != nullptr) zerocopy_->ResetTransientState();
+  if (membership_ != nullptr) membership_->Resume();
   return OkStatus();
 }
 
@@ -401,8 +493,10 @@ Status TrainingDriver::RunStep() {
             LOG(WARNING) << "quiesce after crash detection failed: " << quiesce;
           }
           return Unavailable(
-              StrCat("host", host, " crashed at t=", at_ns, "ns; step cannot complete (",
-                     status.message(), ")"));
+                     StrCat("host", host, " crashed at t=", at_ns,
+                            "ns; step cannot complete (", status.message(), ")"))
+              .WithFailedHost(host)
+              .WithContextFrom(status);
         }
       }
     }
@@ -412,6 +506,209 @@ Status TrainingDriver::RunStep() {
     status = RunStepOnce();
   }
   return status;
+}
+
+void TrainingDriver::PurgeMovedVariables(
+    const std::string& device, const std::map<std::string, std::string>& var_device) {
+  runtime::HostRuntime* host = cluster_->host(device);
+  if (host == nullptr) return;
+  ops::ResourceManager* rm = host->resources();
+  std::vector<std::string> moved;
+  for (const auto& [name, var] : rm->variables()) {
+    auto it = var_device.find(name);
+    if (it != var_device.end() && it->second != device) moved.push_back(name);
+  }
+  std::sort(moved.begin(), moved.end());
+  for (const std::string& name : moved) rm->RemoveVariable(name);
+}
+
+Status TrainingDriver::RecoverFromFailure(ElasticReport* report) {
+  // Freeze the detector and drain so the rebuild starts from a quiescent
+  // cluster: no in-flight closure may touch a device we are about to replace.
+  membership_->Pause();
+  RDMADL_RETURN_IF_ERROR(cluster_->simulator()->Run());
+  const int64_t recovery_start = cluster_->simulator()->Now();
+
+  std::vector<int> dead;
+  for (int d : membership_->dead_hosts()) {
+    if (std::find(report->removed_hosts.begin(), report->removed_hosts.end(), d) ==
+        report->removed_hosts.end()) {
+      dead.push_back(d);
+    }
+  }
+  for (int d : dead) {
+    report->removed_hosts.push_back(d);
+    worker_machines_.erase(
+        std::remove(worker_machines_.begin(), worker_machines_.end(), d),
+        worker_machines_.end());
+    for (auto it = ps_devices_.begin(); it != ps_devices_.end();) {
+      if (ps_machine_of_.at(*it) == d) {
+        it = ps_devices_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (worker_machines_.empty()) {
+    return FailedPrecondition("elastic recovery impossible: no surviving workers");
+  }
+  const bool all_reduce = config_.mode == TrainingMode::kAllReduce && !config_.local_only;
+  if (!all_reduce && !config_.local_only && ps_devices_.empty()) {
+    return FailedPrecondition("elastic recovery impossible: no surviving parameter servers");
+  }
+
+  // Detection latency for the report: confirmation time minus the injected
+  // crash time (reporting only — recovery never consults the injector).
+  const sim::FaultInjector* injector = cluster_->fabric()->fault_injector();
+  if (injector != nullptr) {
+    for (int d : dead) {
+      auto it = injector->crash_times().find(d);
+      if (it != injector->crash_times().end()) {
+        report->last_detection_latency_ns =
+            membership_->confirmed_dead_at_ns(d) - it->second;
+      }
+    }
+  }
+
+  // Clean channels on every survivor before the new session's setup traffic.
+  for (int m : worker_machines_) {
+    RDMADL_RETURN_IF_ERROR(
+        cluster_->host(StrCat("worker:", m))->rdma_device()->RecoverChannels());
+  }
+  for (const std::string& ps : ps_devices_) {
+    RDMADL_RETURN_IF_ERROR(cluster_->host(ps)->rdma_device()->RecoverChannels());
+  }
+
+  // Rebuild graph + mechanism + session over the survivors. PS shards
+  // reassign by the round-robin over the shrunken ps_devices_; all-reduce
+  // replicas of dead workers simply disappear.
+  RDMADL_RETURN_IF_ERROR(BuildAndSetupSession());
+  if (collective_ != nullptr) {
+    RDMADL_RETURN_IF_ERROR(collective_->Reconfigure(worker_machines_));
+  }
+
+  // Roll back to the last consistent cut, retargeted to the new placement.
+  // Reassignment can move a shard between two *surviving* servers (the
+  // round-robin re-deals over the shrunken list), so first purge any copy a
+  // survivor holds for a variable that now lives elsewhere — otherwise the
+  // next snapshot would see the same name on two live devices.
+  std::map<std::string, std::string> var_device;
+  for (const auto& node : graph_->nodes()) {
+    if (node->op() == "Variable") var_device[node->name()] = node->device();
+  }
+  for (int m : worker_machines_) {
+    PurgeMovedVariables(StrCat("worker:", m), var_device);
+  }
+  for (const std::string& ps : ps_devices_) {
+    PurgeMovedVariables(ps, var_device);
+  }
+  if (checkpoint_->has_checkpoint()) {
+    RDMADL_RETURN_IF_ERROR(checkpoint_->Restore(var_device));
+  }
+
+  ++report->reconfigurations;
+  membership_->Resume();
+  report->last_recovery_ns = cluster_->simulator()->Now() - recovery_start;
+  sim::TraceInstant("elastic",
+                    StrCat("reconfigured: ", worker_machines_.size(), " workers, ",
+                           ps_devices_.size(), " ps"),
+                    cluster_->simulator()->Now());
+  return OkStatus();
+}
+
+StatusOr<ElasticReport> TrainingDriver::RunElastic(int steps) {
+  if (!config_.elastic || membership_ == nullptr || checkpoint_ == nullptr) {
+    return FailedPrecondition("RunElastic requires TrainingConfig::elastic");
+  }
+  CHECK_GT(steps, 0);
+  ElasticReport report;
+  report.requested_steps = steps;
+  const int64_t run_start = cluster_->simulator()->Now();
+
+  // Snapshots are scoped to the surviving membership: a dead server's
+  // ResourceManager still holds the shards that were reassigned away from it.
+  auto live_devices = [&] {
+    std::vector<std::string> devices;
+    for (int m : worker_machines_) devices.push_back(StrCat("worker:", m));
+    for (const std::string& ps : ps_devices_) devices.push_back(ps);
+    return devices;
+  };
+
+  // A checkpoint always exists, so the first rollback never restarts from
+  // scratch further back than the beginning of this run.
+  if (!checkpoint_->has_checkpoint()) {
+    RDMADL_RETURN_IF_ERROR(
+        checkpoint_->Snapshot(/*step=*/0, /*samples=*/0, live_devices()));
+  }
+
+  // Hosts already reconfigured away stay kDead in the membership view
+  // forever; only a death we have not yet handled triggers (re)recovery.
+  auto unhandled_death = [&] {
+    for (int d : membership_->dead_hosts()) {
+      if (std::find(report.removed_hosts.begin(), report.removed_hosts.end(), d) ==
+          report.removed_hosts.end()) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  int completed = 0;
+  double samples = 0;
+  int transient_retries = 0;
+  while (completed < steps) {
+    // A death confirmed during (or right after) a successful step still
+    // requires reconfiguration before the next step can run.
+    if (unhandled_death()) {
+      const int before = completed;
+      RDMADL_RETURN_IF_ERROR(RecoverFromFailure(&report));
+      completed = static_cast<int>(checkpoint_->step());
+      samples = checkpoint_->samples();
+      report.steps_rolled_back += before - completed;
+      continue;
+    }
+
+    Status status = RunStepOnce();
+    if (status.ok()) {
+      ++completed;
+      transient_retries = 0;
+      samples += static_cast<double>(config_.batch_size) * worker_machines_.size();
+      if (checkpoint_->ShouldSnapshot(completed)) {
+        RDMADL_RETURN_IF_ERROR(checkpoint_->Snapshot(completed, samples, live_devices()));
+      }
+      continue;
+    }
+    if (!IsRetryableStepFailure(status)) return status;
+
+    // Quiesce, then give the detector its bounded window to turn the step
+    // failure into a confirmed membership change. No injector peeking here:
+    // the detector has to earn the verdict through missed leases.
+    RDMADL_RETURN_IF_ERROR(QuiesceAfterFailedStep());
+    if (!unhandled_death()) {
+      const int64_t deadline =
+          cluster_->simulator()->Now() + membership_->detection_bound_ns();
+      Status wait = cluster_->simulator()->RunUntilPredicateOrDeadline(
+          unhandled_death, deadline);
+      if (!wait.ok() && wait.code() != StatusCode::kDeadlineExceeded &&
+          wait.code() != StatusCode::kFailedPrecondition) {
+        return wait;
+      }
+    }
+    if (!unhandled_death()) {
+      // Nobody died within the bound: transient failure, retry the step.
+      if (transient_retries++ >= std::max(config_.max_step_retries, 1)) {
+        return status;
+      }
+      LOG(WARNING) << "elastic step failed (" << status
+                   << "); no death confirmed, retrying";
+    }
+    // Loop: either reconfigure (death confirmed) or retry the step.
+  }
+
+  report.completed_steps = completed;
+  report.samples_processed = samples;
+  report.elapsed_ns = cluster_->simulator()->Now() - run_start;
+  return report;
 }
 
 StatusOr<double> TrainingDriver::MeasureStepTimeMs(int steps) {

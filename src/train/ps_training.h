@@ -14,12 +14,16 @@
 #ifndef RDMADL_SRC_TRAIN_PS_TRAINING_H_
 #define RDMADL_SRC_TRAIN_PS_TRAINING_H_
 
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/collective/collective.h"
 #include "src/comm/rpc_mechanism.h"
 #include "src/comm/zerocopy_mechanism.h"
+#include "src/control/checkpoint.h"
+#include "src/control/membership.h"
 #include "src/models/model_spec.h"
 #include "src/runtime/session.h"
 
@@ -79,11 +83,38 @@ struct TrainingConfig {
   // many times before surfacing the error. Steps retried this way repeat
   // their compute, so throughput numbers degrade gracefully under faults.
   int max_step_retries = 0;
+  // ---- Elastic recovery (failure detection + checkpoint/rollback) ----
+  // With |elastic| = true, Initialize additionally starts a MembershipService
+  // heartbeating every machine and a CheckpointManager snapshotting the
+  // variables every |checkpoint_interval_steps| completed steps; RunElastic
+  // then survives fail-stop crashes: a confirmed death shrinks the cluster
+  // (graph rebuilt over the survivors, PS shards reassigned, collective ring
+  // reconfigured), the last checkpoint is restored, and training continues.
+  bool elastic = false;
+  int checkpoint_interval_steps = 5;
+  control::MembershipOptions membership;
+  control::CheckpointOptions checkpoint;  // interval_steps is overridden above.
+  // Parameter-server placement: 0 = one PS process colocated with the worker
+  // on each machine (the paper's §5 deployment, the default); > 0 = that many
+  // dedicated PS machines appended after the workers (machines
+  // num_machines .. num_machines+num_ps-1), so elastic tests can crash a
+  // worker and a parameter server independently.
+  int num_ps = 0;
 };
 
 // Builds the placed graph. |graph| must be empty.
 Status BuildDataParallelGraph(const models::ModelSpec& model, int num_workers, int num_ps,
                               int batch_size, bool local_only, graph::Graph* graph);
+
+// Elastic overload: replicates onto the listed worker machines (replica w<m>
+// runs on device "worker:<m>", keeping its original machine tag across
+// reconfigurations) and shards the variables round-robin over |ps_devices|.
+// Rebuilding with the survivor lists after a confirmed death is how the
+// driver reassigns a dead server's shards.
+Status BuildDataParallelGraph(const models::ModelSpec& model,
+                              const std::vector<int>& worker_machines,
+                              const std::vector<std::string>& ps_devices, int batch_size,
+                              graph::Graph* graph);
 
 // All-reduce variant: every worker holds its own replica of all variables and
 // applies SGD locally (at GPU rates); there are no parameter servers and no
@@ -91,6 +122,24 @@ Status BuildDataParallelGraph(const models::ModelSpec& model, int num_workers, i
 // all-reduce, not part of the graph.
 Status BuildAllReduceGraph(const models::ModelSpec& model, int num_workers, int batch_size,
                            graph::Graph* graph);
+
+// Elastic overload over an explicit worker machine list.
+Status BuildAllReduceGraph(const models::ModelSpec& model,
+                           const std::vector<int>& worker_machines, int batch_size,
+                           graph::Graph* graph);
+
+// Outcome of an elastic run (TrainingDriver::RunElastic).
+struct ElasticReport {
+  int requested_steps = 0;
+  int completed_steps = 0;      // Steps standing after the final rollback.
+  double samples_processed = 0;  // Cumulative samples behind completed_steps.
+  int reconfigurations = 0;
+  int steps_rolled_back = 0;  // Completed work repeated due to rollbacks.
+  std::vector<int> removed_hosts;         // Machine ids, in confirmation order.
+  int64_t last_detection_latency_ns = 0;  // Crash -> confirmed dead.
+  int64_t last_recovery_ns = 0;           // Confirmed dead -> training resumed.
+  int64_t elapsed_ns = 0;                 // Virtual time for the whole run.
+};
 
 class TrainingDriver {
  public:
@@ -114,14 +163,34 @@ class TrainingDriver {
   // Aggregate throughput in mini-batches per second (per worker step rate).
   StatusOr<double> MeasureThroughput(int steps);
 
+  // Elastic training loop (requires config.elastic). Runs until |steps|
+  // post-warmup steps stand completed. A retryable step failure quiesces the
+  // cluster and gives the failure detector its bounded window; a confirmed
+  // death triggers recovery (shrink membership, rebuild the graph/session
+  // over the survivors, reconfigure the collective ring, restore the last
+  // checkpoint, roll the step/sample counters back) and the loop continues on
+  // the survivors. Undetected (transient) failures retry the step as RunStep
+  // does. Fails if every worker — or, in PS mode, every parameter server —
+  // is lost.
+  StatusOr<ElasticReport> RunElastic(int steps);
+
   runtime::Cluster* cluster() { return cluster_.get(); }
   runtime::DistributedSession* session() { return session_.get(); }
+  // Current placed graph (rebuilt on every elastic reconfiguration).
+  const graph::Graph* graph() const { return graph_.get(); }
   const TrainingConfig& config() const { return config_; }
   // Non-null when the mechanism is one of the RDMA zero-copy family.
   const comm::ZeroCopyRdmaMechanism* zerocopy_mechanism() const { return zerocopy_.get(); }
   const comm::RpcMechanism* rpc_mechanism() const { return rpc_.get(); }
   // Non-null in kAllReduce mode (after Initialize).
   collective::CollectiveGroup* collective() { return collective_.get(); }
+  // Non-null when config.elastic (after Initialize).
+  control::MembershipService* membership() { return membership_.get(); }
+  control::CheckpointManager* checkpoint() { return checkpoint_.get(); }
+  // Machine ids currently carrying workers (shrinks as hosts die).
+  const std::vector<int>& worker_machines() const { return worker_machines_; }
+  // Device names currently carrying variables, in shard round-robin order.
+  const std::vector<std::string>& ps_devices() const { return ps_devices_; }
 
  private:
   Status RunStepOnce();
@@ -129,6 +198,19 @@ class TrainingDriver {
   // epoch-guarded no-op closures), recovers errored QPs on every process and
   // clears mechanism/collective transient state.
   Status QuiesceAfterFailedStep();
+  // Instantiates the transfer mechanism for the current graph (fresh edge
+  // state — called at Initialize and again per reconfiguration).
+  void MakeMechanism();
+  // Builds graph + session over the current worker_machines_/ps_devices_ and
+  // runs mechanism setup.
+  Status BuildAndSetupSession();
+  // Removes the confirmed-dead hosts from the membership lists and rebuilds
+  // everything over the survivors; restores the checkpoint.
+  Status RecoverFromFailure(ElasticReport* report);
+  // Drops variables a surviving device still holds but whose shard the new
+  // placement assigns elsewhere (keeps names unique for snapshots).
+  void PurgeMovedVariables(const std::string& device,
+                           const std::map<std::string, std::string>& var_device);
 
   TrainingConfig config_;
   std::unique_ptr<runtime::Cluster> cluster_;
@@ -138,6 +220,14 @@ class TrainingDriver {
   runtime::TransferMechanism* mechanism_ = nullptr;
   std::unique_ptr<runtime::DistributedSession> session_;
   std::unique_ptr<collective::CollectiveGroup> collective_;
+  std::unique_ptr<control::MembershipService> membership_;
+  std::unique_ptr<control::CheckpointManager> checkpoint_;
+  // Current (elastic) membership. worker_machines_[i] hosts "worker:<id>";
+  // ps_devices_ lists the PS device names still alive, paired with the
+  // machines that host them in ps_machine_of_.
+  std::vector<int> worker_machines_;
+  std::vector<std::string> ps_devices_;
+  std::map<std::string, int> ps_machine_of_;
   uint64_t allreduce_elements_ = 0;  // Gradient elements summed per step.
 };
 

@@ -30,7 +30,9 @@ enum class StatusCode : int {
 
 const char* StatusCodeToString(StatusCode code);
 
-// Value-type status: OK or an error code plus message.
+// Value-type status: OK or an error code plus message, optionally annotated
+// with structured failure context (which host or transport edge failed) so
+// recovery code can dispatch on the payload instead of parsing messages.
 class Status {
  public:
   Status() : code_(StatusCode::kOk) {}
@@ -42,6 +44,35 @@ class Status {
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  // Structured failure context. `failed_host` identifies the machine whose
+  // fail-stop caused the error (-1 when unknown); `failed_edge` names the
+  // comm-layer edge (transfer key) the error surfaced on (empty when unknown).
+  // The context rides along through copies but is deliberately excluded from
+  // ToString() and operator== so error text and trace output stay unchanged.
+  Status WithFailedHost(int host) const {
+    Status s = *this;
+    s.failed_host_ = host;
+    return s;
+  }
+  Status WithFailedEdge(std::string edge) const {
+    Status s = *this;
+    s.failed_edge_ = std::move(edge);
+    return s;
+  }
+  // Copies the other status's context onto this one, keeping any context
+  // already present. Used when one layer wraps a lower layer's error in a new
+  // message but must not drop the payload (e.g. QP retry exhaustion wrapping
+  // a fabric crash rejection).
+  Status WithContextFrom(const Status& other) const {
+    Status s = *this;
+    if (s.failed_host_ < 0) s.failed_host_ = other.failed_host_;
+    if (s.failed_edge_.empty()) s.failed_edge_ = other.failed_edge_;
+    return s;
+  }
+  bool has_failed_host() const { return failed_host_ >= 0; }
+  int failed_host() const { return failed_host_; }
+  const std::string& failed_edge() const { return failed_edge_; }
 
   std::string ToString() const {
     if (ok()) return "OK";
@@ -55,6 +86,8 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  int failed_host_ = -1;
+  std::string failed_edge_;
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/device/rdma_device.h"
+#include "src/sim/fault.h"
 
 namespace rdmadl {
 namespace device {
@@ -318,6 +319,75 @@ TEST_F(DeviceTest, AddressDistributionPattern) {
   ASSERT_TRUE(transfer_done);
   EXPECT_EQ(recv_region->data()[0], 0x42);
   EXPECT_EQ(recv_region->data()[recv_region->size() - 1], 0x42);
+}
+
+TEST_F(DeviceTest, RecoverChannelsIsIdempotentWithFlushedRecvsInFlight) {
+  // Regression for the elastic recovery path: RecoverChannels must be safe
+  // to call repeatedly — including a second call issued while the first
+  // call's flushed recv completions are still queued in the CQ — without
+  // ever over- or under-filling the RPC recv ring.
+  auto a = MakeDevice(0, 7000);
+  auto b = MakeDevice(1, 7000);
+  b->RegisterRpcHandler("echo", [](const std::vector<uint8_t>& req) { return req; });
+
+  // Healthy round trip establishes the RPC QPs and fills both recv rings.
+  bool ok_before = false;
+  a->Call(Endpoint{1, 7000}, "echo", {1, 2, 3},
+          [&](const Status& s, const std::vector<uint8_t>& r) {
+            ASSERT_TRUE(s.ok());
+            EXPECT_EQ(r.size(), 3u);
+            ok_before = true;
+          });
+  ASSERT_TRUE(simulator_.Run().ok());
+  ASSERT_TRUE(ok_before);
+  EXPECT_EQ(a->rpc_recvs_posted(Endpoint{1, 7000}), RdmaDevice::rpc_recv_depth());
+  EXPECT_EQ(b->rpc_recvs_posted(Endpoint{0, 7000}), RdmaDevice::rpc_recv_depth());
+
+  // Exhaust the transport retry budget on 0 -> 1: the RPC send WR errors the
+  // QP, and every posted recv on that QP flushes.
+  sim::FaultInjector injector(1);
+  sim::LinkFaultSpec spec;
+  spec.drop_first_n = 100;
+  injector.SetLinkFault(0, 1, spec);
+  fabric_.SetFaultInjector(&injector);
+
+  // A lost request never invokes the caller's callback (MiniRPC contract);
+  // the observable effect is the errored QP flushing its recv ring. Stop the
+  // simulator at the *first* flushed recv completion — the remaining flushes
+  // are still queued in the CQ — and recover right there, twice.
+  a->Call(Endpoint{1, 7000}, "echo", {9},
+          [&](const Status&, const std::vector<uint8_t>&) {
+            FAIL() << "callback must not fire for a lost request";
+          });
+  Status until = simulator_.RunUntilPredicate([&] {
+    return a->rpc_recvs_posted(Endpoint{1, 7000}) < RdmaDevice::rpc_recv_depth();
+  });
+  ASSERT_TRUE(until.ok()) << until;
+  ASSERT_TRUE(a->RecoverChannels().ok());
+  ASSERT_TRUE(a->RecoverChannels().ok());
+  // Draining the leftover flushed completions must not over-post: they find
+  // the ring already at depth and release their slots instead.
+  ASSERT_TRUE(simulator_.Run().ok());
+  EXPECT_EQ(a->rpc_recvs_posted(Endpoint{1, 7000}), RdmaDevice::rpc_recv_depth());
+
+  // Another call after the drain: still idempotent, ring exactly full.
+  ASSERT_TRUE(a->RecoverChannels().ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+  EXPECT_EQ(a->rpc_recvs_posted(Endpoint{1, 7000}), RdmaDevice::rpc_recv_depth());
+
+  // With the link healthy again, RPC service resumes.
+  injector.SetLinkFault(0, 1, sim::LinkFaultSpec{});
+  bool ok_after = false;
+  a->Call(Endpoint{1, 7000}, "echo", {4, 5},
+          [&](const Status& s, const std::vector<uint8_t>& r) {
+            ASSERT_TRUE(s.ok()) << s;
+            EXPECT_EQ(r.size(), 2u);
+            ok_after = true;
+          });
+  ASSERT_TRUE(simulator_.Run().ok());
+  ASSERT_TRUE(ok_after);
+  EXPECT_EQ(a->rpc_recvs_posted(Endpoint{1, 7000}), RdmaDevice::rpc_recv_depth());
+  EXPECT_EQ(b->rpc_recvs_posted(Endpoint{0, 7000}), RdmaDevice::rpc_recv_depth());
 }
 
 }  // namespace

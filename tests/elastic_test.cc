@@ -1,0 +1,233 @@
+// End-to-end elastic recovery tests (ISSUE 3 tentpole acceptance): a
+// fail-stop crash mid-training is detected by the membership service within
+// its bound, the cluster reconfigures (graph rebuilt over survivors, PS
+// shards reassigned or the ring shrunk), the last checkpoint is restored,
+// and the run completes on the survivors with the loss still decreasing.
+// Same-seed runs produce byte-identical traces.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/models/model_spec.h"
+#include "src/sim/fault.h"
+#include "src/sim/trace.h"
+#include "src/train/convergence.h"
+#include "src/train/ps_training.h"
+
+namespace rdmadl {
+namespace {
+
+using sim::FaultInjector;
+using train::ElasticReport;
+using train::TrainingConfig;
+using train::TrainingDriver;
+
+uint64_t FaultSeedFromEnv(uint64_t default_seed) {
+  const char* env = std::getenv("RDMADL_FAULT_SEED");
+  if (env == nullptr || *env == '\0') return default_seed;
+  return std::strtoull(env, nullptr, 10);
+}
+
+TrainingConfig ElasticConfig(int num_workers, int num_ps) {
+  TrainingConfig config;
+  config.model = models::Fcn5();
+  config.num_machines = num_workers;
+  config.num_ps = num_ps;
+  config.batch_size = 8;
+  config.mechanism = train::MechanismKind::kRdmaZeroCopy;
+  config.step_timeout_ns = 200'000'000;  // 200 ms virtual budget per step.
+  config.max_step_retries = 2;
+  config.elastic = true;
+  config.checkpoint_interval_steps = 2;
+  return config;
+}
+
+// Loss at the report's cumulative sample count, under the analytic
+// convergence profile — "training still converges" means the curve kept
+// moving down despite the rollback. The rate anchor only scales the sample
+// axis; any positive value works for a monotonicity check.
+train::ConvergenceProfile Profile() {
+  return train::CifarConvergence(/*tcp_samples_per_minute=*/10'000);
+}
+
+double LossAt(const ElasticReport& report) {
+  return Profile().MetricAt(report.samples_processed);
+}
+
+// ---------------------------------------------------------------------------
+// Worker crash: 3 workers + 2 dedicated PS machines; worker 1 fail-stops
+// mid-run. The run must complete all requested steps on the survivors.
+// ---------------------------------------------------------------------------
+
+TEST(ElasticTest, WorkerCrashDetectReconfigureRestoreComplete) {
+  TrainingConfig config = ElasticConfig(/*num_workers=*/3, /*num_ps=*/2);
+  TrainingDriver driver(config);
+  ASSERT_TRUE(driver.Initialize().ok());
+  ASSERT_EQ(driver.worker_machines(), (std::vector<int>{0, 1, 2}));
+  ASSERT_EQ(driver.ps_devices(), (std::vector<std::string>{"ps:0", "ps:1"}));
+
+  // Attach the injector after Initialize so warm-up runs fault-free; worker
+  // machine 1 fail-stops shortly into the measured run.
+  FaultInjector injector(FaultSeedFromEnv(31));
+  const int64_t t_crash = driver.cluster()->simulator()->Now() + 50'000;
+  injector.CrashHost(1, t_crash);
+  driver.cluster()->fabric()->SetFaultInjector(&injector);
+
+  auto report_or = driver.RunElastic(/*steps=*/8);
+  ASSERT_TRUE(report_or.ok()) << report_or.status();
+  const ElasticReport& report = report_or.value();
+
+  EXPECT_EQ(report.completed_steps, 8);
+  EXPECT_EQ(report.reconfigurations, 1);
+  EXPECT_EQ(report.removed_hosts, std::vector<int>{1});
+  EXPECT_EQ(driver.worker_machines(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(driver.ps_devices(), (std::vector<std::string>{"ps:0", "ps:1"}));
+
+  // Detection happened through missed leases, within the advertised bound.
+  EXPECT_GT(report.last_detection_latency_ns, 0);
+  EXPECT_LE(report.last_detection_latency_ns,
+            driver.membership()->detection_bound_ns());
+  EXPECT_GT(report.last_recovery_ns, 0);
+
+  // Rollback repeated some work, but the loss still moved down from init.
+  EXPECT_GE(report.steps_rolled_back, 0);
+  EXPECT_GT(report.samples_processed, 0);
+  EXPECT_LT(LossAt(report), Profile().initial);
+
+  // The reconfigured cluster keeps training.
+  ASSERT_TRUE(driver.RunStep().ok());
+}
+
+// ---------------------------------------------------------------------------
+// PS crash: the dedicated server carrying half the shards dies; its shards
+// are reassigned to the survivor and restored from the checkpoint.
+// ---------------------------------------------------------------------------
+
+TEST(ElasticTest, PsCrashReassignsShardsToSurvivor) {
+  TrainingConfig config = ElasticConfig(/*num_workers=*/2, /*num_ps=*/2);
+  TrainingDriver driver(config);
+  ASSERT_TRUE(driver.Initialize().ok());
+
+  // Machine 2 is the first dedicated PS machine (workers are 0..1), i.e.
+  // device "ps:0".
+  FaultInjector injector(FaultSeedFromEnv(32));
+  const int64_t t_crash = driver.cluster()->simulator()->Now() + 50'000;
+  injector.CrashHost(2, t_crash);
+  driver.cluster()->fabric()->SetFaultInjector(&injector);
+
+  auto report_or = driver.RunElastic(/*steps=*/6);
+  ASSERT_TRUE(report_or.ok()) << report_or.status();
+  const ElasticReport& report = report_or.value();
+
+  EXPECT_EQ(report.completed_steps, 6);
+  EXPECT_EQ(report.reconfigurations, 1);
+  EXPECT_EQ(report.removed_hosts, std::vector<int>{2});
+  EXPECT_EQ(driver.worker_machines(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(driver.ps_devices(), (std::vector<std::string>{"ps:1"}));
+
+  // Every variable in the rebuilt graph lives on the surviving server.
+  const graph::Graph* graph = driver.graph();
+  int variables = 0;
+  for (const auto& node : graph->nodes()) {
+    if (node->op() == "Variable") {
+      ++variables;
+      EXPECT_EQ(node->device(), "ps:1") << node->name();
+    }
+  }
+  EXPECT_EQ(variables, config.model.NumVariables());
+  EXPECT_LT(LossAt(report), Profile().initial);
+}
+
+// ---------------------------------------------------------------------------
+// All-reduce mode: a worker death shrinks the collective ring and training
+// completes with the smaller group.
+// ---------------------------------------------------------------------------
+
+TEST(ElasticTest, AllReduceWorkerCrashShrinksRing) {
+  TrainingConfig config = ElasticConfig(/*num_workers=*/4, /*num_ps=*/0);
+  config.mode = train::TrainingMode::kAllReduce;
+  TrainingDriver driver(config);
+  ASSERT_TRUE(driver.Initialize().ok());
+  ASSERT_EQ(driver.collective()->size(), 4);
+
+  FaultInjector injector(FaultSeedFromEnv(33));
+  injector.CrashHost(3, driver.cluster()->simulator()->Now() + 50'000);
+  driver.cluster()->fabric()->SetFaultInjector(&injector);
+
+  auto report_or = driver.RunElastic(/*steps=*/6);
+  ASSERT_TRUE(report_or.ok()) << report_or.status();
+  const ElasticReport& report = report_or.value();
+
+  EXPECT_EQ(report.completed_steps, 6);
+  EXPECT_EQ(report.removed_hosts, std::vector<int>{3});
+  EXPECT_EQ(driver.collective()->size(), 3);
+  EXPECT_EQ(driver.collective()->hosts(), (std::vector<int>{0, 1, 2}));
+  EXPECT_GE(driver.collective()->stats().reconfigurations, 1);
+  EXPECT_LT(LossAt(report), Profile().initial);
+}
+
+// ---------------------------------------------------------------------------
+// No crash: the elastic loop is a plain training loop (no reconfigurations,
+// no rollbacks) and the sample count is exact.
+// ---------------------------------------------------------------------------
+
+TEST(ElasticTest, NoFaultRunIsPlainTraining) {
+  TrainingConfig config = ElasticConfig(/*num_workers=*/2, /*num_ps=*/0);
+  TrainingDriver driver(config);
+  ASSERT_TRUE(driver.Initialize().ok());
+
+  auto report_or = driver.RunElastic(/*steps=*/5);
+  ASSERT_TRUE(report_or.ok()) << report_or.status();
+  const ElasticReport& report = report_or.value();
+  EXPECT_EQ(report.completed_steps, 5);
+  EXPECT_EQ(report.reconfigurations, 0);
+  EXPECT_EQ(report.steps_rolled_back, 0);
+  EXPECT_TRUE(report.removed_hosts.empty());
+  EXPECT_EQ(report.samples_processed, 5.0 * config.batch_size * 2);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: same config + same seed => byte-identical traces, identical
+// virtual end time, identical reports.
+// ---------------------------------------------------------------------------
+
+TEST(ElasticTest, SameSeedProducesByteIdenticalTrace) {
+  auto run_once = [](uint64_t seed, std::string* trace_json, int64_t* end_ns,
+                     ElasticReport* report) {
+    sim::Tracer tracer;
+    sim::Tracer::Install(&tracer);
+    TrainingConfig config = ElasticConfig(/*num_workers=*/3, /*num_ps=*/0);
+    TrainingDriver driver(config);
+    ASSERT_TRUE(driver.Initialize().ok());
+    FaultInjector injector(seed);
+    injector.CrashHost(2, driver.cluster()->simulator()->Now() + 50'000);
+    driver.cluster()->fabric()->SetFaultInjector(&injector);
+    auto report_or = driver.RunElastic(/*steps=*/6);
+    ASSERT_TRUE(report_or.ok()) << report_or.status();
+    *report = report_or.value();
+    *trace_json = tracer.ToJson();
+    *end_ns = driver.cluster()->simulator()->Now();
+    sim::Tracer::Install(nullptr);
+  };
+
+  const uint64_t seed = FaultSeedFromEnv(34);
+  std::string trace_a, trace_b;
+  int64_t end_a = 0, end_b = 0;
+  ElasticReport report_a, report_b;
+  run_once(seed, &trace_a, &end_a, &report_a);
+  run_once(seed, &trace_b, &end_b, &report_b);
+
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(end_a, end_b);
+  EXPECT_EQ(report_a.completed_steps, report_b.completed_steps);
+  EXPECT_EQ(report_a.samples_processed, report_b.samples_processed);
+  EXPECT_EQ(report_a.last_detection_latency_ns, report_b.last_detection_latency_ns);
+  EXPECT_EQ(report_a.last_recovery_ns, report_b.last_recovery_ns);
+  EXPECT_EQ(report_a.removed_hosts, report_b.removed_hosts);
+}
+
+}  // namespace
+}  // namespace rdmadl
