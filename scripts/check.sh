@@ -4,24 +4,35 @@
 #
 # Usage:
 #   scripts/check.sh              # plain build + ctest, then ASan+UBSan
-#                                 # build + ctest (RDMADL_SANITIZE=ON)
-#   scripts/check.sh --sanitize   # only the sanitizer build + ctest
+#                                 # build + ctest (RDMADL_SANITIZE=address)
+#   scripts/check.sh --sanitize   # sanitizer sweep: ASan+UBSan build + ctest,
+#                                 # then TSan build + ctest
 #   scripts/check.sh --plain      # only the plain build + ctest
+#   scripts/check.sh --tidy       # clang-tidy over src/ using the checks in
+#                                 # .clang-tidy (skips with a notice when
+#                                 # clang-tidy is not installed)
 #   scripts/check.sh --chaos      # plain build, then sweep the seeded chaos
 #                                 # suites over RDMADL_FAULT_SEED=1..10
 #   scripts/check.sh --elastic    # plain build, then sweep the elastic
 #                                 # recovery suite (crash schedules derived
 #                                 # from RDMADL_FAULT_SEED) over the seeds
+#   scripts/check.sh --verify     # RdmaCheck CI mode: the violation matrix
+#                                 # (check_test), then the chaos + elastic
+#                                 # suites under RDMADL_CHECK=1 across the
+#                                 # seed list — every test runs with the
+#                                 # protocol checker installed and fails on
+#                                 # any diagnostic
 #
-# The chaos/elastic suites are also registered as ctest labels, so
-# `ctest -L chaos` / `ctest -L elastic` run a two-seed smoke subset as part
-# of any ctest invocation; the modes here sweep the full seed list.
+# The chaos/elastic/check suites are also registered as ctest labels, so
+# `ctest -L chaos` / `ctest -L elastic` / `ctest -L check` run a two-seed
+# smoke subset as part of any ctest invocation; the modes here sweep the
+# full seed list.
 #
 # Environment:
 #   BUILD_DIR    override the build directory (default: build, or
-#                build-sanitize for the sanitizer pass)
+#                build-<flavor> for sanitizer passes)
 #   JOBS         parallelism (default: nproc)
-#   CHAOS_SEEDS  space-separated seed list for --chaos/--elastic
+#   CHAOS_SEEDS  space-separated seed list for --chaos/--elastic/--verify
 #                (default: 1..10)
 set -euo pipefail
 
@@ -32,8 +43,10 @@ for arg in "$@"; do
   case "$arg" in
     --sanitize) MODE=sanitize ;;
     --plain) MODE=plain ;;
+    --tidy) MODE=tidy ;;
     --chaos) MODE=chaos ;;
     --elastic) MODE=elastic ;;
+    --verify) MODE=verify ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -47,24 +60,41 @@ build_and_test() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
 }
 
+plain_build() {
+  BUILD_DIR="${BUILD_DIR:-build}"
+  cmake -B "$BUILD_DIR" -S . -DRDMADL_SANITIZE=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+}
+
 case "$MODE" in
   plain)
     build_and_test OFF "${BUILD_DIR:-build}"
     ;;
   sanitize)
-    build_and_test ON "${BUILD_DIR:-build-sanitize}"
+    build_and_test address "${BUILD_DIR:-build-sanitize}"
+    build_and_test thread "${BUILD_DIR:-build-tsan}"
     ;;
   both)
     build_and_test OFF "${BUILD_DIR:-build}"
-    build_and_test ON "${BUILD_DIR:-build-sanitize}"
+    build_and_test address "${BUILD_DIR:-build-sanitize}"
+    ;;
+  tidy)
+    # Static analysis over the library sources with the checks pinned in
+    # .clang-tidy. Uses the compile database from the plain build.
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+      echo "clang-tidy not installed; skipping --tidy (install clang-tidy to enable)"
+      exit 0
+    fi
+    plain_build
+    mapfile -t sources < <(find src -name '*.cc' | sort)
+    clang-tidy -p "$BUILD_DIR" --quiet "${sources[@]}"
+    echo "clang-tidy passed over ${#sources[@]} source files"
     ;;
   chaos)
     # Deterministic chaos sweep: the fault suites derive their fault
     # schedules from RDMADL_FAULT_SEED, so each seed is a distinct — but
     # reproducible — storm of drops, spikes, flaps and crashes.
-    BUILD_DIR="${BUILD_DIR:-build}"
-    cmake -B "$BUILD_DIR" -S . -DRDMADL_SANITIZE=OFF
-    cmake --build "$BUILD_DIR" -j "$JOBS"
+    plain_build
     for seed in ${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}; do
       echo "=== chaos sweep: RDMADL_FAULT_SEED=$seed ==="
       RDMADL_FAULT_SEED="$seed" "$BUILD_DIR/tests/fault_test" --gtest_brief=1
@@ -78,9 +108,7 @@ case "$MODE" in
     # all-reduce peer) and require detection + reconfiguration + rollback to
     # finish the run on the survivors. The membership spike property test
     # rides along so each seed also attests "no false positives under load".
-    BUILD_DIR="${BUILD_DIR:-build}"
-    cmake -B "$BUILD_DIR" -S . -DRDMADL_SANITIZE=OFF
-    cmake --build "$BUILD_DIR" -j "$JOBS"
+    plain_build
     for seed in ${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}; do
       echo "=== elastic sweep: RDMADL_FAULT_SEED=$seed ==="
       RDMADL_FAULT_SEED="$seed" "$BUILD_DIR/tests/elastic_test" --gtest_brief=1
@@ -88,5 +116,22 @@ case "$MODE" in
         --gtest_filter='MembershipPropertyTest.*'
     done
     echo "elastic sweep passed for seeds: ${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}"
+    ;;
+  verify)
+    # RdmaCheck CI mode. First the negative matrix: every seeded violation
+    # class must produce exactly its diagnostic kind. Then the chaos and
+    # elastic suites run with the checker installed in every test
+    # (RDMADL_CHECK=1): these runs are clean by construction, so a single
+    # diagnostic — protocol violation or teardown leak — fails the sweep.
+    plain_build
+    "$BUILD_DIR/tests/check_test" --gtest_brief=1
+    for seed in ${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}; do
+      echo "=== checker sweep: RDMADL_FAULT_SEED=$seed RDMADL_CHECK=1 ==="
+      RDMADL_FAULT_SEED="$seed" RDMADL_CHECK=1 \
+        "$BUILD_DIR/tests/fault_test" --gtest_brief=1
+      RDMADL_FAULT_SEED="$seed" RDMADL_CHECK=1 \
+        "$BUILD_DIR/tests/elastic_test" --gtest_brief=1
+    done
+    echo "checker sweep passed for seeds: ${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}"
     ;;
 esac

@@ -1,0 +1,289 @@
+// RdmaCheck: an opt-in shadow-state validator for the RDMA protocol stack.
+//
+// The zero-copy mechanism (§3.2/§3.3) is safe only because of a delicate
+// protocol contract: memory regions stay registered while remote writes are
+// in flight, one-sided writes land in MTU segments at ascending addresses,
+// and the receiver polls a flag byte whose validity depends on that ordering.
+// RdmaCheck exploits the deterministic discrete-event fabric to check that
+// contract exactly, the way TSan-style vector-clock checkers validate
+// shared-memory protocols:
+//
+//   (a) every remote write/read targets a live MR with a matching rkey —
+//       use-after-deregister, stale-rkey-after-rebuild and out-of-bounds
+//       RemoteSlices are distinct diagnostic kinds;
+//   (b) no two in-flight one-sided writes target overlapping remote ranges
+//       without a happens-before edge. In the simulated RC transport the HB
+//       edges are exactly (1) same-QP FIFO execution (one WR in flight per
+//       QP engine) and (2) wire completion: a WR's bytes have all landed
+//       before its completion, and anything posted after observing that
+//       completion is ordered behind it. A write posted while an
+//       overlapping write from a *different* QP is still in flight has no
+//       such edge — a remote race;
+//   (c) segments land at ascending addresses within each WR and each fabric
+//       transfer, and a receiver never trusts a completion flag before a
+//       write covering the flag byte has actually landed;
+//   (d) at teardown no MR stays registered and no arena carve-out is still
+//       live when its arena is destroyed.
+//
+// Violations produce deterministic, trace-linked diagnostics (host, edge,
+// WR id, virtual timestamp) and fail the run. The checker is installed
+// process-wide (mirroring sim::Tracer); when not installed every hook is a
+// single pointer-load-and-branch, so the disabled cost is near zero.
+#ifndef RDMADL_SRC_CHECK_RDMA_CHECK_H_
+#define RDMADL_SRC_CHECK_RDMA_CHECK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace rdmadl {
+namespace check {
+
+enum class DiagKind {
+  kUseAfterDeregister,   // Segment landed after the target MR was deregistered.
+  kStaleRkey,            // Write/read posted with an rkey that is no longer (or
+                         // was never) live — e.g. held across an arena rebuild.
+  kOutOfBounds,          // Target range escapes the MR the rkey names.
+  kRemoteRace,           // Overlapping in-flight writes with no HB edge.
+  kNonAscendingSegment,  // Segment landed out of ascending-address order.
+  kPrematureFlagRead,    // Completion flag trusted before its byte landed.
+  kLeakedMemoryRegion,   // MR still registered at Finalize().
+  kLeakedArenaBlock,     // Arena destroyed with live carve-outs.
+};
+
+const char* DiagKindName(DiagKind kind);
+
+struct Diagnostic {
+  DiagKind kind = DiagKind::kUseAfterDeregister;
+  std::string message;  // Full human-readable report (host, edge, WR, time).
+  int src_host = -1;    // Initiator (-1 when not applicable).
+  int dst_host = -1;    // Target host of the access (-1 when not applicable).
+  uint32_t qp_num = 0;
+  uint64_t wr_id = 0;
+  int64_t vtime_ns = 0;  // Virtual time of the violating event.
+};
+
+struct RdmaCheckOptions {
+  bool fail_fast = false;   // LOG(FATAL) on the first diagnostic.
+  bool check_leaks = true;  // MR / arena-carve-out accounting at teardown.
+};
+
+// The checker itself. Construction installs it as the process-wide current
+// checker (LOG(FATAL) if one is already installed); destruction uninstalls.
+// All hooks below route through Current(), so everything built before the
+// checker existed is simply invisible to it — installing mid-world is safe,
+// events about untracked objects are ignored.
+class RdmaCheck {
+ public:
+  explicit RdmaCheck(RdmaCheckOptions options = RdmaCheckOptions{});
+  ~RdmaCheck();
+
+  RdmaCheck(const RdmaCheck&) = delete;
+  RdmaCheck& operator=(const RdmaCheck&) = delete;
+
+  static RdmaCheck* Current() { return current_; }
+
+  // ---- verbs layer (NicDevice / QueuePair) ----
+  void MrRegistered(int host, uint64_t addr, uint64_t length, uint32_t lkey, uint32_t rkey,
+                    int64_t now_ns);
+  void MrDeregistered(int host, uint32_t lkey, uint32_t rkey, int64_t now_ns);
+  // A one-sided write entered the QP engine. Re-posts of the same
+  // (src, qp, wr_id) are transport retries: the delivered prefix resets (a
+  // retry rewrites from offset 0) and no new race window opens.
+  void WritePosted(int src_host, int dst_host, uint32_t qp_num, uint64_t wr_id,
+                   uint64_t remote_addr, uint64_t length, uint32_t rkey, int64_t now_ns);
+  // A segment of an in-flight write landed at the target.
+  void WriteSegment(int src_host, uint32_t qp_num, uint64_t wr_id, uint64_t offset,
+                    uint64_t length, int64_t now_ns);
+  // Wire completion (success or retry-exhaustion error): the HB edge that
+  // closes the write's race window.
+  void WriteFinished(int src_host, uint32_t qp_num, uint64_t wr_id, int64_t now_ns);
+  // A one-sided read entered the QP engine (validated against the MR shadow
+  // only; reads race with nothing in this model).
+  void ReadPosted(int src_host, int target_host, uint32_t qp_num, uint64_t wr_id,
+                  uint64_t remote_addr, uint64_t length, uint32_t rkey, int64_t now_ns);
+
+  // ---- fabric layer ----
+  // Tracks ascending-address delivery per transfer (covers the TCP plane and
+  // anything else that bypasses the verbs hooks). Returns a nonzero id.
+  uint64_t TransferStarted(int src_host, int dst_host, uint64_t bytes, int64_t now_ns);
+  void TransferSegment(uint64_t transfer_id, uint64_t offset, uint64_t length, int64_t now_ns);
+  void TransferFinished(uint64_t transfer_id);
+
+  // ---- arena allocator ----
+  void ArenaBlockAllocated(const void* arena, const std::string& arena_name, uint64_t offset,
+                           size_t bytes);
+  void ArenaBlockFreed(const void* arena, uint64_t offset);
+  void ArenaDestroyed(const void* arena);
+
+  // ---- flag-byte protocol (§3.2 tail flag / §3.3 metadata tail flag) ----
+  // Declares |flag_addr| on |dst_host| a completion flag for |edge_key|.
+  void FlagLocation(int dst_host, const void* flag_addr, const std::string& edge_key);
+  // The degraded (staged-TCP) path sets the flag locally: a legitimate HB
+  // edge — the payload memcpy happened-before on the same simulated thread.
+  void FlagSetLocally(int dst_host, const void* flag_addr, int64_t now_ns);
+  void FlagCleared(int dst_host, const void* flag_addr);
+  // The receiver observed the flag nonzero and is about to act on the
+  // payload. Valid only if a tracked write covering the flag byte has landed
+  // (or the flag was set locally) since the last clear.
+  void FlagTrusted(int dst_host, const void* flag_addr, int64_t now_ns);
+  void FlagForgotten(int dst_host, const void* flag_addr);
+
+  // Runs the teardown checks (leaked MRs) once and returns every diagnostic
+  // recorded so far. Idempotent.
+  const std::vector<Diagnostic>& Finalize();
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  int count(DiagKind kind) const;
+  // All diagnostics, one per line, for test failure messages.
+  std::string Report() const;
+
+ private:
+  struct MrShadow {
+    uint64_t addr = 0;
+    uint64_t length = 0;
+    uint32_t lkey = 0;
+    int64_t registered_at_ns = 0;
+  };
+  struct DeadMr {
+    uint64_t addr = 0;
+    uint64_t length = 0;
+    int64_t deregistered_at_ns = 0;
+  };
+  struct InflightWrite {
+    int dst_host = -1;
+    uint64_t remote_addr = 0;
+    uint64_t length = 0;
+    uint32_t rkey = 0;
+    uint64_t delivered = 0;  // Ascending prefix landed so far.
+    int64_t posted_at_ns = 0;
+    bool dead_mr_reported = false;  // One use-after-deregister per WR.
+  };
+  struct TransferShadow {
+    int src_host = -1;
+    int dst_host = -1;
+    uint64_t expected_offset = 0;
+  };
+  struct ArenaShadow {
+    std::string name;
+    std::map<uint64_t, size_t> live;  // offset -> rounded bytes
+  };
+  struct FlagShadow {
+    std::string edge_key;
+    bool landed = false;  // A covering write landed (or local set) since clear.
+  };
+
+  using WriteKey = std::tuple<int, uint32_t, uint64_t>;  // (src_host, qp, wr_id)
+  using MrKey = std::pair<int, uint32_t>;                // (host, rkey)
+
+  void Emit(DiagKind kind, std::string message, int src_host, int dst_host, uint32_t qp_num,
+            uint64_t wr_id, int64_t now_ns);
+  // Checks a posted one-sided target range against the MR shadow; emits
+  // kStaleRkey / kOutOfBounds. Returns true if the target is valid.
+  bool CheckTarget(const char* verb, int src_host, int dst_host, uint32_t qp_num,
+                   uint64_t wr_id, uint64_t remote_addr, uint64_t length, uint32_t rkey,
+                   int64_t now_ns);
+  // Marks any watched flag bytes covered by [addr, addr+len) as landed.
+  void CoverFlags(int dst_host, uint64_t addr, uint64_t len);
+
+  static RdmaCheck* current_;
+
+  RdmaCheckOptions options_;
+  std::vector<Diagnostic> diagnostics_;
+  bool finalized_ = false;
+  uint64_t next_transfer_id_ = 1;
+
+  std::map<MrKey, MrShadow> live_mrs_;
+  std::map<MrKey, DeadMr> dead_mrs_;  // rkey graveyard: classifies stale rkeys.
+  std::map<WriteKey, InflightWrite> inflight_;
+  std::map<uint64_t, TransferShadow> transfers_;
+  std::map<const void*, ArenaShadow> arenas_;
+  // (host, flag address) -> shadow bit.
+  std::map<std::pair<int, uint64_t>, FlagShadow> flags_;
+};
+
+// ---- dispatch hooks -------------------------------------------------------
+// One pointer load + branch when no checker is installed.
+
+inline void OnMrRegistered(int host, uint64_t addr, uint64_t length, uint32_t lkey,
+                           uint32_t rkey, int64_t now_ns) {
+  if (RdmaCheck* c = RdmaCheck::Current()) c->MrRegistered(host, addr, length, lkey, rkey, now_ns);
+}
+inline void OnMrDeregistered(int host, uint32_t lkey, uint32_t rkey, int64_t now_ns) {
+  if (RdmaCheck* c = RdmaCheck::Current()) c->MrDeregistered(host, lkey, rkey, now_ns);
+}
+inline void OnWritePosted(int src_host, int dst_host, uint32_t qp_num, uint64_t wr_id,
+                          uint64_t remote_addr, uint64_t length, uint32_t rkey,
+                          int64_t now_ns) {
+  if (RdmaCheck* c = RdmaCheck::Current()) {
+    c->WritePosted(src_host, dst_host, qp_num, wr_id, remote_addr, length, rkey, now_ns);
+  }
+}
+inline void OnWriteSegment(int src_host, uint32_t qp_num, uint64_t wr_id, uint64_t offset,
+                           uint64_t length, int64_t now_ns) {
+  if (RdmaCheck* c = RdmaCheck::Current()) {
+    c->WriteSegment(src_host, qp_num, wr_id, offset, length, now_ns);
+  }
+}
+inline void OnWriteFinished(int src_host, uint32_t qp_num, uint64_t wr_id, int64_t now_ns) {
+  if (RdmaCheck* c = RdmaCheck::Current()) c->WriteFinished(src_host, qp_num, wr_id, now_ns);
+}
+inline void OnReadPosted(int src_host, int target_host, uint32_t qp_num, uint64_t wr_id,
+                         uint64_t remote_addr, uint64_t length, uint32_t rkey, int64_t now_ns) {
+  if (RdmaCheck* c = RdmaCheck::Current()) {
+    c->ReadPosted(src_host, target_host, qp_num, wr_id, remote_addr, length, rkey, now_ns);
+  }
+}
+inline uint64_t OnTransferStarted(int src_host, int dst_host, uint64_t bytes, int64_t now_ns) {
+  if (RdmaCheck* c = RdmaCheck::Current()) {
+    return c->TransferStarted(src_host, dst_host, bytes, now_ns);
+  }
+  return 0;
+}
+inline void OnTransferSegment(uint64_t transfer_id, uint64_t offset, uint64_t length,
+                              int64_t now_ns) {
+  if (transfer_id == 0) return;
+  if (RdmaCheck* c = RdmaCheck::Current()) {
+    c->TransferSegment(transfer_id, offset, length, now_ns);
+  }
+}
+inline void OnTransferFinished(uint64_t transfer_id) {
+  if (transfer_id == 0) return;
+  if (RdmaCheck* c = RdmaCheck::Current()) c->TransferFinished(transfer_id);
+}
+inline void OnArenaBlockAllocated(const void* arena, const std::string& arena_name,
+                                  uint64_t offset, size_t bytes) {
+  if (RdmaCheck* c = RdmaCheck::Current()) {
+    c->ArenaBlockAllocated(arena, arena_name, offset, bytes);
+  }
+}
+inline void OnArenaBlockFreed(const void* arena, uint64_t offset) {
+  if (RdmaCheck* c = RdmaCheck::Current()) c->ArenaBlockFreed(arena, offset);
+}
+inline void OnArenaDestroyed(const void* arena) {
+  if (RdmaCheck* c = RdmaCheck::Current()) c->ArenaDestroyed(arena);
+}
+inline void OnFlagLocation(int dst_host, const void* flag_addr, const std::string& edge_key) {
+  if (RdmaCheck* c = RdmaCheck::Current()) c->FlagLocation(dst_host, flag_addr, edge_key);
+}
+inline void OnFlagSetLocally(int dst_host, const void* flag_addr, int64_t now_ns) {
+  if (RdmaCheck* c = RdmaCheck::Current()) c->FlagSetLocally(dst_host, flag_addr, now_ns);
+}
+inline void OnFlagCleared(int dst_host, const void* flag_addr) {
+  if (RdmaCheck* c = RdmaCheck::Current()) c->FlagCleared(dst_host, flag_addr);
+}
+inline void OnFlagTrusted(int dst_host, const void* flag_addr, int64_t now_ns) {
+  if (RdmaCheck* c = RdmaCheck::Current()) c->FlagTrusted(dst_host, flag_addr, now_ns);
+}
+inline void OnFlagForgotten(int dst_host, const void* flag_addr) {
+  if (RdmaCheck* c = RdmaCheck::Current()) c->FlagForgotten(dst_host, flag_addr);
+}
+
+}  // namespace check
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_CHECK_RDMA_CHECK_H_

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/check/rdma_check.h"
 #include "src/net/fabric.h"
 #include "src/sim/trace.h"
 #include "src/util/logging.h"
@@ -89,6 +90,9 @@ ZeroCopyRdmaMechanism::~ZeroCopyRdmaMechanism() {
   // arenas. Stale "zc_addr" handlers are overwritten by the next Setup on
   // every host that still receives.
   for (auto& [key, s] : edges_) {
+    if (s->flag_ptr != nullptr) {
+      check::OnFlagForgotten(s->dst->endpoint().host_id, s->flag_ptr);
+    }
     if (s->protocol == Protocol::kStatic) {
       if (s->remote_data.addr != 0) {
         StatusOr<RdmaArena*> arena = s->dst->rdma_arena();
@@ -118,6 +122,13 @@ ZeroCopyRdmaMechanism::~ZeroCopyRdmaMechanism() {
         }
       }
     }
+  }
+  // The per-host "flag = 1" source bytes are carved from the meta arenas too;
+  // a rebuilt mechanism re-carves its own, so return them as well (leaving
+  // them would leak one byte per host per rebuild — found by RdmaCheck).
+  for (auto& [host, flag] : flag_sources_) {
+    StatusOr<RdmaArena*> meta = host->meta_arena();
+    if (meta.ok()) (*meta)->allocator->Deallocate(flag);
   }
 }
 
@@ -286,6 +297,10 @@ Status ZeroCopyRdmaMechanism::SetupEdge(EdgeState* s) {
     s->src_meta_lkey = src_meta->lkey;
   }
 
+  // Declare the edge's completion flag to the protocol checker: TryRecv must
+  // never trust it before a write covering the flag byte has landed.
+  check::OnFlagLocation(s->dst->endpoint().host_id, s->flag_ptr, edge.key);
+
   // Channels: spread edges across the configured QPs (§3.1 / Figure 4).
   const int qp_count = s->src->options().num_qps_per_peer;
   const int qp_idx = static_cast<int>(edges_.size()) % qp_count;
@@ -327,7 +342,10 @@ void ZeroCopyRdmaMechanism::ResetTransientState() {
   for (auto& [key, state] : edges_) {
     EdgeState* s = state.get();
     s->phase = RecvPhase::kWaiting;
-    if (s->flag_ptr != nullptr) *s->flag_ptr = 0;
+    if (s->flag_ptr != nullptr) {
+      *s->flag_ptr = 0;
+      check::OnFlagCleared(s->dst->endpoint().host_id, s->flag_ptr);
+    }
     if (s->meta_block != nullptr && s->meta_bytes > 0) {
       std::memset(s->meta_block, 0, s->meta_bytes);
     }
@@ -568,7 +586,10 @@ bool ZeroCopyRdmaMechanism::TryRecv(const graph::TransferEdge& edge, Tensor* out
   switch (s->phase) {
     case RecvPhase::kWaiting: {
       if (*s->flag_ptr == 0) return false;
+      check::OnFlagTrusted(s->dst->endpoint().host_id, s->flag_ptr,
+                           s->dst->simulator()->Now());
       *s->flag_ptr = 0;  // Clear for future use (§3.2).
+      check::OnFlagCleared(s->dst->endpoint().host_id, s->flag_ptr);
       if (s->protocol == Protocol::kStatic) {
         if (!s->dst_gpu_staging) {
           ++stats_.static_transfers;
@@ -692,13 +713,17 @@ int64_t ZeroCopyRdmaMechanism::SendDegraded(EdgeState* s, const Tensor& tensor,
         // Receiver-side completion surfaces through the same TryRecv states
         // as an RDMA arrival: static edges land in the preallocated tensor
         // and raise the flag; dynamic edges materialize the tensor directly.
-        simulator->ScheduleAfter(receiver_ns, [s, tensor]() {
+        simulator->ScheduleAfter(receiver_ns, [s, simulator, tensor]() {
           if (s->protocol == Protocol::kStatic) {
             if (s->dst->real_memory()) {
               std::memcpy(s->recv_tensor.raw_data(), tensor.raw_data(),
                           tensor.TotalBytes());
             }
             *s->flag_ptr = 1;
+            // Local set: the staged payload memcpy happened-before on this
+            // same simulated thread — a legitimate HB edge for the checker.
+            check::OnFlagSetLocally(s->dst->endpoint().host_id, s->flag_ptr,
+                                    simulator->Now());
           } else {
             Tensor t(s->dst->default_allocator(), tensor.dtype(), tensor.shape());
             if (s->dst->real_memory()) {

@@ -157,7 +157,12 @@ RdmaDevice::RdmaDevice(DeviceDirectory* directory, int num_qps_per_peer, const E
       nic_(directory->rdma_fabric()->nic(local.host_id)),
       num_qps_per_peer_(num_qps_per_peer) {}
 
-RdmaDevice::~RdmaDevice() { directory_->devices_.erase(local_); }
+RdmaDevice::~RdmaDevice() {
+  for (const rdma::MemoryRegion& mr : rpc_slab_mrs_) {
+    (void)nic_->DeregisterMemory(mr);
+  }
+  directory_->devices_.erase(local_);
+}
 
 void RdmaDevice::DropPendingCallbacks() {
   pending_sends_.clear();
@@ -362,6 +367,7 @@ RdmaDevice::RpcSlot RdmaDevice::AcquireRpcSlot() {
       rpc_free_slots_.push_back(RpcSlot{slab.get() + i * kRpcSlotBytes, mr->lkey});
     }
     rpc_slabs_.push_back(std::move(slab));
+    rpc_slab_mrs_.push_back(*mr);
   }
   RpcSlot slot = rpc_free_slots_.back();
   rpc_free_slots_.pop_back();

@@ -259,6 +259,9 @@ class RdmaDevice {
   std::unordered_map<uint64_t, RpcSlot> rpc_send_slots_;
   std::unordered_map<uint64_t, RpcSlot> rpc_recv_slots_;
   std::vector<std::unique_ptr<uint8_t[]>> rpc_slabs_;
+  // One MR per slab, deregistered at device teardown (leaving them would
+  // leave rkeys naming freed slab memory — found by RdmaCheck).
+  std::vector<rdma::MemoryRegion> rpc_slab_mrs_;
   std::vector<RpcSlot> rpc_free_slots_;
 
   static constexpr uint64_t kRpcSlotBytes = 64 * 1024;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/check/rdma_check.h"
 #include "src/sim/trace.h"
 #include "src/util/strings.h"
 
@@ -70,6 +71,10 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
 
   const int64_t now = simulator_->Now() + initiation_delay_ns;
 
+  // Shadow id for the checker's per-transfer ascending-address tracking
+  // (0 when no checker is installed; every downstream hook no-ops on 0).
+  const uint64_t check_id = check::OnTransferStarted(src, dst, bytes, simulator_->Now());
+
   if (fault_ != nullptr) {
     // Fail-stop hosts: the transfer is refused after one propagation latency
     // (the initiator learns nothing arrived), never silently swallowed, so
@@ -77,6 +82,7 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
     const int dead = fault_->FirstDeadHost(src, dst, now);
     if (dead >= 0) {
       sim::TraceInstant("fault", StrCat("transfer refused: host", dead, " crashed"), now);
+      check::OnTransferFinished(check_id);
       if (on_complete) {
         simulator_->ScheduleAt(
             now + latency, [dead, complete_cb = std::move(on_complete)]() {
@@ -126,16 +132,19 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
     auto chunk_cb = std::move(on_chunk);
     auto complete_cb = std::move(on_complete);
     simulator_->ScheduleAt(
-        deliver_at, [bytes, src, dst, dropped, chunk_cb = std::move(chunk_cb),
-                     complete_cb = std::move(complete_cb)]() {
+        deliver_at, [bytes, src, dst, dropped, check_id, deliver_at,
+                     chunk_cb = std::move(chunk_cb), complete_cb = std::move(complete_cb)]() {
           if (dropped) {
+            check::OnTransferFinished(check_id);
             if (complete_cb) {
               complete_cb(Unavailable(
                   StrCat("segment lost on host", src, "->host", dst, " at offset 0")));
             }
             return;
           }
+          if (bytes > 0) check::OnTransferSegment(check_id, 0, bytes, deliver_at);
           if (chunk_cb && bytes > 0) chunk_cb(0, bytes);
+          check::OnTransferFinished(check_id);
           if (complete_cb) complete_cb(OkStatus());
         });
     return;
@@ -184,7 +193,8 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
       sim::TraceInstant("fault",
                         StrCat("drop host", src, "->host", dst, " offset=", this_offset),
                         deliver_at);
-      simulator_->ScheduleAt(deliver_at, [progress, src, dst, this_offset]() {
+      simulator_->ScheduleAt(deliver_at, [progress, src, dst, this_offset, check_id]() {
+        check::OnTransferFinished(check_id);
         if (progress->on_complete) {
           auto complete = std::move(progress->on_complete);
           progress->on_complete = nullptr;
@@ -196,12 +206,17 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
     }
 
     const uint64_t payload_len = (bytes == 0) ? 0 : len;
-    simulator_->ScheduleAt(deliver_at, [progress, this_offset, payload_len]() {
+    simulator_->ScheduleAt(deliver_at, [progress, this_offset, payload_len, check_id,
+                                        deliver_at]() {
+      if (payload_len > 0) {
+        check::OnTransferSegment(check_id, this_offset, payload_len, deliver_at);
+      }
       if (progress->on_chunk && payload_len > 0) {
         progress->on_chunk(this_offset, payload_len);
       }
       progress->delivered += payload_len;
       const bool done = progress->delivered >= progress->total_bytes;
+      if (done) check::OnTransferFinished(check_id);
       if (done && progress->on_complete) {
         auto complete = std::move(progress->on_complete);
         progress->on_complete = nullptr;

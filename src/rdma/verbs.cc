@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/check/rdma_check.h"
 #include "src/sim/trace.h"
 #include "src/util/strings.h"
 
@@ -135,10 +136,13 @@ void QueuePair::Execute(const SendWorkRequest& wr) {
 
 void QueuePair::ExecuteWrite(const SendWorkRequest& wr) {
   NicDevice* target_nic = peer_->nic_;
+  check::OnWritePosted(nic_->host_id(), target_nic->host_id(), qp_num_, wr.wr_id,
+                       wr.remote_addr, wr.length, wr.rkey, nic_->simulator()->Now());
   const MemoryRegion* target =
       target_nic->FindRemoteRegion(wr.rkey, wr.remote_addr, wr.length);
   if (target == nullptr) {
     ++target_nic->stats_.rkey_violations;
+    check::OnWriteFinished(nic_->host_id(), qp_num_, wr.wr_id, nic_->simulator()->Now());
     FinishCurrent(wr,
                   Status(StatusCode::kInvalidArgument,
                          StrCat("remote access violation: rkey=", wr.rkey, " addr=",
@@ -155,7 +159,10 @@ void QueuePair::ExecuteWrite(const SendWorkRequest& wr) {
       nic_->cost().rdma_nic_processing_ns,
       // Segments land in ascending address order; each is copied for real so
       // a flag-byte poller on the target sees partial tensors faithfully.
-      [src, dst, copy = wr.copy_bytes](uint64_t offset, uint64_t length) {
+      [this, src, dst, copy = wr.copy_bytes, wr_id = wr.wr_id](uint64_t offset,
+                                                               uint64_t length) {
+        check::OnWriteSegment(nic_->host_id(), qp_num_, wr_id, offset, length,
+                              nic_->simulator()->Now());
         if (copy) std::memcpy(dst + offset, src + offset, length);
       },
       [this, wr](Status status) { CompleteWire(wr, status, nullptr); });
@@ -163,6 +170,8 @@ void QueuePair::ExecuteWrite(const SendWorkRequest& wr) {
 
 void QueuePair::ExecuteRead(const SendWorkRequest& wr) {
   NicDevice* target_nic = peer_->nic_;
+  check::OnReadPosted(nic_->host_id(), target_nic->host_id(), qp_num_, wr.wr_id,
+                      wr.remote_addr, wr.length, wr.rkey, nic_->simulator()->Now());
   const MemoryRegion* target =
       target_nic->FindRemoteRegion(wr.rkey, wr.remote_addr, wr.length);
   if (target == nullptr) {
@@ -202,9 +211,14 @@ void QueuePair::ExecuteSend(const SendWorkRequest& wr) {
 }
 
 void QueuePair::CompleteWire(const SendWorkRequest& wr, const Status& status,
-                             std::function<void()> on_success) {
+                             const std::function<void()>& on_success) {
   if (status.ok()) {
     retry_attempts_ = 0;
+    if (wr.opcode == Opcode::kWrite) {
+      // The completion-ordering happens-before edge: the write's bytes have
+      // all landed, anything posted from here on is ordered behind it.
+      check::OnWriteFinished(nic_->host_id(), qp_num_, wr.wr_id, nic_->simulator()->Now());
+    }
     if (on_success) on_success();
     FinishCurrent(wr, OkStatus(), wr.length);
     return;
@@ -224,6 +238,9 @@ void QueuePair::CompleteWire(const SendWorkRequest& wr, const Status& status,
   }
   // Retry budget exhausted: the QP moves to the error state. The failing WR
   // completes with the transport error; everything queued flushes after it.
+  if (wr.opcode == Opcode::kWrite) {
+    check::OnWriteFinished(nic_->host_id(), qp_num_, wr.wr_id, nic_->simulator()->Now());
+  }
   retry_attempts_ = 0;
   state_ = QpState::kError;
   error_cause_ = Unavailable(StrCat("transport retry limit (",
@@ -359,6 +376,7 @@ StatusOr<MemoryRegion> NicDevice::RegisterMemory(void* addr, uint64_t length) {
   mrs_by_rkey_[mr.rkey] = mr;
   ++stats_.registrations;
   stats_.registration_cost_ns_total += RegistrationCost(length);
+  check::OnMrRegistered(host_id_, mr.addr, mr.length, mr.lkey, mr.rkey, simulator()->Now());
   return mr;
 }
 
@@ -368,6 +386,7 @@ Status NicDevice::DeregisterMemory(const MemoryRegion& mr) {
   if (!erased_l || !erased_r) {
     return NotFound("memory region not registered");
   }
+  check::OnMrDeregistered(host_id_, mr.lkey, mr.rkey, simulator()->Now());
   return OkStatus();
 }
 

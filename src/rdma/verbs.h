@@ -168,7 +168,7 @@ class QueuePair {
   // failure retries with backoff or errors the QP. |on_success| runs before
   // the completion (e.g. SEND-side inbound delivery).
   void CompleteWire(const SendWorkRequest& wr, const Status& status,
-                    std::function<void()> on_success);
+                    const std::function<void()>& on_success);
   // Flushes all queued WRs with kAborted completions (the QP is in kError).
   void FlushQueues();
   // Schedules an immediate flush completion for a WR posted while errored.

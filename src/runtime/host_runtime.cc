@@ -36,6 +36,17 @@ HostRuntime::~HostRuntime() {
   // through the arenas and tracing wrappers owned below — drop them while
   // those allocators are still alive.
   if (rdma_device_ != nullptr) rdma_device_->DropPendingCallbacks();
+  // Arenas registered with the NIC directly (virtual-mode data arenas, the
+  // meta arena) bypass MemRegion's RAII deregistration — undo them here, or
+  // the NIC keeps rkeys naming memory about to be freed (found by RdmaCheck).
+  if (rdma_device_ != nullptr) {
+    for (RdmaArena* arena : {&rdma_arena_, &gpu_arena_, &meta_arena_}) {
+      if (arena->raw_mr.lkey != 0) {
+        (void)rdma_device_->nic()->DeregisterMemory(arena->raw_mr);
+        arena->raw_mr = rdma::MemoryRegion();
+      }
+    }
+  }
 }
 
 tensor::TracingAllocator* HostRuntime::tracing_allocator(tensor::Allocator* base) {
@@ -83,6 +94,7 @@ StatusOr<RdmaArena> HostRuntime::MakeArena(uint64_t size, uint64_t virtual_base,
     arena.base_addr = virtual_base;
     arena.lkey = mr.lkey;
     arena.rkey = mr.rkey;
+    arena.raw_mr = mr;
     arena.allocator = std::make_unique<tensor::ArenaAllocator>(
         base, size, StrCat(label, ":", options_.device_name));
   }
@@ -118,6 +130,7 @@ StatusOr<RdmaArena*> HostRuntime::meta_arena() {
     meta_arena_.base_addr = reinterpret_cast<uint64_t>(storage.get());
     meta_arena_.lkey = mr.lkey;
     meta_arena_.rkey = mr.rkey;
+    meta_arena_.raw_mr = mr;
     meta_arena_.allocator = std::make_unique<tensor::ArenaAllocator>(
         storage.get(), kMetaArenaBytes, StrCat("meta:", options_.device_name));
     meta_storage_ = std::move(storage);

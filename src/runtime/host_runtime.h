@@ -37,6 +37,9 @@ struct RdmaArena {
   uint32_t lkey = 0;
   uint32_t rkey = 0;
   device::MemRegion region;  // Keeps real-mode storage alive (invalid when virtual).
+  // Raw NIC registration for arenas that bypass MemRegion (virtual-mode and
+  // meta arenas); deregistered by ~HostRuntime. lkey == 0 when unused.
+  rdma::MemoryRegion raw_mr;
 
   bool Contains(const void* ptr) const { return allocator && allocator->Contains(ptr); }
 };

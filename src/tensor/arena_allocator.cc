@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/check/rdma_check.h"
 #include "src/util/logging.h"
 
 namespace rdmadl {
@@ -14,6 +15,8 @@ ArenaAllocator::ArenaAllocator(void* base, size_t size, std::string name, Memory
   CHECK_GT(size, 0u);
   InsertFree(0, size);
 }
+
+ArenaAllocator::~ArenaAllocator() { check::OnArenaDestroyed(this); }
 
 void ArenaAllocator::InsertFree(uint64_t offset, size_t size) {
   free_by_offset_[offset] = size;
@@ -48,6 +51,7 @@ void* ArenaAllocator::Allocate(size_t bytes) {
   ++stats_.allocations;
   stats_.bytes_in_use += static_cast<int64_t>(rounded);
   stats_.peak_bytes_in_use = std::max(stats_.peak_bytes_in_use, stats_.bytes_in_use);
+  check::OnArenaBlockAllocated(this, name_, offset, rounded);
   return reinterpret_cast<void*>(base_ + offset);
 }
 
@@ -61,6 +65,7 @@ void ArenaAllocator::Deallocate(void* ptr) {
   live_.erase(it);
   ++stats_.deallocations;
   stats_.bytes_in_use -= static_cast<int64_t>(size);
+  check::OnArenaBlockFreed(this, offset);
 
   uint64_t merged_offset = offset;
   size_t merged_size = size;

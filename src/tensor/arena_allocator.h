@@ -24,6 +24,9 @@ class ArenaAllocator : public Allocator {
   // Manages [base, base + size). Does not own the storage.
   ArenaAllocator(void* base, size_t size, std::string name,
                  MemorySpace space = MemorySpace::kHost);
+  // Notifies the protocol checker (when installed) so carve-outs still live
+  // at destruction surface as leak diagnostics.
+  ~ArenaAllocator() override;
 
   void* Allocate(size_t bytes) override;
   void Deallocate(void* ptr) override;

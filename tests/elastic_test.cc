@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/testing.h"
 #include "src/models/model_spec.h"
 #include "src/sim/fault.h"
 #include "src/sim/trace.h"
@@ -18,6 +19,11 @@
 #include "src/train/ps_training.h"
 
 namespace rdmadl {
+
+// `ctest -L check` runs this suite with RDMADL_CHECK=1: every test executes
+// under a fresh RdmaCheck and fails on any protocol diagnostic.
+RDMADL_REGISTER_PROTOCOL_CHECK_LISTENER();
+
 namespace {
 
 using sim::FaultInjector;

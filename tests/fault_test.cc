@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/testing.h"
 #include "src/collective/collective.h"
 #include "src/comm/rpc_mechanism.h"
 #include "src/comm/zerocopy_mechanism.h"
@@ -33,6 +34,11 @@
 #include "src/train/ps_training.h"
 
 namespace rdmadl {
+
+// `ctest -L check` runs this suite with RDMADL_CHECK=1: every test executes
+// under a fresh RdmaCheck and fails on any protocol diagnostic.
+RDMADL_REGISTER_PROTOCOL_CHECK_LISTENER();
+
 namespace {
 
 using collective::CollectiveGroup;
@@ -158,6 +164,13 @@ Status RunOp(World* world, const std::function<void(DoneCallback)>& op) {
 // QP's transport retry and the step completes with correct bytes (acceptance
 // criterion a).
 // ---------------------------------------------------------------------------
+
+// Wiring check for the checker CI mode: when RDMADL_CHECK=1 the listener
+// must have installed a process-wide RdmaCheck before this body runs (a
+// silently-inert listener would make every `ctest -L check` pass vacuously).
+TEST(ProtocolCheckListenerTest, CheckerInstalledExactlyWhenEnvSet) {
+  EXPECT_EQ(check::RdmaCheck::Current() != nullptr, check::CheckEnabledFromEnv());
+}
 
 TEST(FaultMatrixTest, DroppedSegmentsAreRetriedAndZeroCopyStepDeliversExactBytes) {
   SessionWorld world(100'000);
