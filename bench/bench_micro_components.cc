@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/net/fabric.h"
 #include "src/ops/kernel.h"
 #include "src/sim/simulator.h"
 #include "src/tensor/arena_allocator.h"
@@ -63,6 +64,30 @@ void BM_ArenaFragmentationChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ArenaFragmentationChurn);
+
+// Wall-clock of the fabric bulk-transfer path: one large transfer is split
+// into per-MTU segments, each a scheduled delivery event. This is the bench
+// behind the Fabric::Transfer allocation rework — it counts segment events
+// processed per second, so per-segment heap churn shows up directly.
+void BM_FabricBulkTransfer(benchmark::State& state) {
+  const uint64_t bytes = state.range(0);
+  net::CostModel cost;
+  uint64_t segments = 0;  // Segments of the last transfer (all are identical).
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    net::Fabric fabric(&simulator, cost, 2);
+    bool done = false;
+    segments = 0;
+    fabric.Transfer(0, 1, bytes, net::Plane::kRdma, 0,
+                    [&segments](uint64_t, uint64_t) { ++segments; },
+                    [&done](const Status& status) { done = status.ok(); });
+    benchmark::DoNotOptimize(simulator.Run());
+    CHECK(done);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(segments));
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_FabricBulkTransfer)->Arg(1 << 20)->Arg(32 << 20);
 
 void BM_MatMulKernel(benchmark::State& state) {
   ops::RegisterStandardOps();

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs the transfer benchmark sweeps and emits BENCH_5.json at the repo root:
+# the Figure 8 mechanism table plus the transfer-engine sweeps (QP lane
+# striping, small-tensor coalescing, MR registration cache), each row with
+# virtual-time latency/throughput, and a trailing meta row with the run's
+# wall-clock. Virtual-time results go to stdout; wall-clock only to stderr
+# and the JSON, so stdout stays deterministic.
+#
+# Usage:
+#   scripts/bench.sh            # full sweep -> BENCH_5.json
+#   scripts/bench.sh --quick    # reduced size set (CI smoke config)
+#
+# Environment:
+#   BUILD_DIR  override the build directory (default: build)
+#   BENCH_OUT  override the output path (default: BENCH_5.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BENCH_OUT="${BENCH_OUT:-BENCH_5.json}"
+JOBS="${JOBS:-$(nproc)}"
+
+QUICK=()
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=(--quick) ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B "$BUILD_DIR" -S . -DRDMADL_SANITIZE=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_fig8_micro >/dev/null
+
+"$BUILD_DIR/bench/bench_fig8_micro" --sweep "${QUICK[@]}" --json="$BENCH_OUT"
+echo "wrote $BENCH_OUT" >&2

@@ -22,6 +22,12 @@
 #                                 # seed list — every test runs with the
 #                                 # protocol checker installed and fails on
 #                                 # any diagnostic
+#   scripts/check.sh --bench-smoke # plain build, then run the micro benches
+#                                 # in their fast configuration; fails on a
+#                                 # crash or on non-deterministic stdout
+#                                 # (bench_fig8_micro --quick --sweep is run
+#                                 # twice and the outputs diffed). Also part
+#                                 # of the default (no-flag) flow.
 #
 # The chaos/elastic/check suites are also registered as ctest labels, so
 # `ctest -L chaos` / `ctest -L elastic` / `ctest -L check` run a two-seed
@@ -47,6 +53,7 @@ for arg in "$@"; do
     --chaos) MODE=chaos ;;
     --elastic) MODE=elastic ;;
     --verify) MODE=verify ;;
+    --bench-smoke) MODE=bench-smoke ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -66,6 +73,27 @@ plain_build() {
   cmake --build "$BUILD_DIR" -j "$JOBS"
 }
 
+# Bench smoke: the micro benches in their fast configuration. Fails on any
+# crash, and on non-deterministic stdout — bench_fig8_micro reports virtual
+# time only on stdout (wall-clock goes to stderr), so two runs must be
+# byte-identical. bench_micro_components reports wall-clock, so it only gets
+# the crash check.
+bench_smoke() {
+  local build_dir="$1"
+  local out_a out_b
+  out_a="$(mktemp)" && out_b="$(mktemp)"
+  "$build_dir/bench/bench_fig8_micro" --quick --sweep >"$out_a" 2>/dev/null
+  "$build_dir/bench/bench_fig8_micro" --quick --sweep >"$out_b" 2>/dev/null
+  if ! diff -u "$out_a" "$out_b"; then
+    echo "bench smoke FAILED: bench_fig8_micro stdout differs between runs" >&2
+    rm -f "$out_a" "$out_b"
+    exit 1
+  fi
+  rm -f "$out_a" "$out_b"
+  "$build_dir/bench/bench_micro_components" --benchmark_min_time=0.01 >/dev/null
+  echo "bench smoke passed (deterministic stdout, no crashes)"
+}
+
 case "$MODE" in
   plain)
     build_and_test OFF "${BUILD_DIR:-build}"
@@ -76,6 +104,7 @@ case "$MODE" in
     ;;
   both)
     build_and_test OFF "${BUILD_DIR:-build}"
+    bench_smoke "${BUILD_DIR:-build}"
     build_and_test address "${BUILD_DIR:-build-sanitize}"
     ;;
   tidy)
@@ -133,5 +162,9 @@ case "$MODE" in
         "$BUILD_DIR/tests/elastic_test" --gtest_brief=1
     done
     echo "checker sweep passed for seeds: ${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}"
+    ;;
+  bench-smoke)
+    plain_build
+    bench_smoke "$BUILD_DIR"
     ;;
 esac

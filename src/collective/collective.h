@@ -52,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "src/comm/transfer_engine.h"
 #include "src/device/rdma_device.h"
 #include "src/util/status.h"
 
@@ -90,6 +91,10 @@ struct CollectiveOptions {
   // in flight when the budget elapses fails with kDeadlineExceeded instead of
   // hanging virtual time (e.g. a crashed peer whose flag never arrives).
   int64_t op_timeout_ns = 0;
+  // Per-rank transfer-engine knobs (lane striping of big chunks). Coalescing
+  // is always forced off here: ring flags are per-(lane, step) slots and the
+  // chunks are medium-sized, so batching would only add latency.
+  comm::TransferEngineOptions engine;
 };
 
 struct CollectiveStats {

@@ -117,6 +117,9 @@ Status CollectiveGroup::Init(const std::vector<int>& hosts) {
     RDMADL_ASSIGN_OR_RETURN(
         rank->device,
         device::RdmaDevice::Create(directory_, options_.num_cqs, num_qps, rank->endpoint));
+    comm::TransferEngineOptions engine_options = options_.engine;
+    engine_options.enable_coalescing = false;  // Ring flags are per-slot.
+    rank->engine = std::make_unique<comm::TransferEngine>(rank->device.get(), engine_options);
 
     // Flags are always real: the poller reads actual bytes (§3.2), even when
     // the payload buffers are virtual.
@@ -564,29 +567,32 @@ void CollectiveGroup::PostChunk(const std::shared_ptr<Op>& op, int src_rank, int
   stats_.bytes_sent += bytes;
 
   if (options_.transport == Transport::kRdmaZeroCopy) {
-    const int qp_idx = qp_lane % src->device->num_qps_per_peer();
-    auto channel_or = src->device->GetChannel(dst->endpoint, qp_idx);
-    if (!channel_or.ok()) {
-      Fail(op, channel_or.status());
-      return;
-    }
-    device::RdmaChannel* channel = *channel_or;
-    auto on_error = [this, op](const Status& status) {
-      if (!status.ok()) Fail(op, status);
-    };
-    if (bytes > 0) {
-      channel->Memcpy(reinterpret_cast<void*>(local_addr), local_lkey, remote_addr, remote_rkey,
-                      bytes, device::Direction::kLocalToRemote, on_error,
-                      /*copy_bytes=*/options_.materialize);
-    }
-    // The flag trails the payload on the same QP: RC FIFO ordering plus
-    // ascending-address delivery make it the last byte to land (§3.2). The
-    // 1-byte source is the constant at the tail of the flag block, so the
-    // delivery-time read can never observe a stale staging value.
+    // Payload then flag through the shared transfer engine. On the direct
+    // path the flag trails the payload on the same QP (RC FIFO ordering plus
+    // ascending-address delivery make it the last byte to land, §3.2); on the
+    // striped path the engine posts the flag only after every stripe's
+    // completion, which preserves the same contract. The 1-byte flag source
+    // is the constant at the tail of the flag block, so the delivery-time
+    // read can never observe a stale staging value.
     const Rank::PeerAddrs& peer = src->peers[dst_rank];
-    channel->Memcpy(src->flags() + flag_capacity_, src->flag_region.lkey(),
-                    peer.flags.addr + flag_index, peer.flags.rkey, 1,
-                    device::Direction::kLocalToRemote, on_error, /*copy_bytes=*/true);
+    comm::TransferEngine::WriteDesc payload;
+    payload.local_addr = reinterpret_cast<void*>(local_addr);
+    payload.lkey = local_lkey;
+    payload.remote_addr = remote_addr;
+    payload.rkey = remote_rkey;
+    payload.bytes = bytes;
+    payload.copy_bytes = options_.materialize;
+    comm::TransferEngine::WriteDesc flag;
+    flag.local_addr = src->flags() + flag_capacity_;
+    flag.lkey = src->flag_region.lkey();
+    flag.remote_addr = peer.flags.addr + flag_index;
+    flag.rkey = peer.flags.rkey;
+    flag.bytes = 1;
+    flag.copy_bytes = true;
+    src->engine->WriteWithFlag(dst->endpoint, payload, flag, qp_lane,
+                               [this, op](const Status& status) {
+                                 if (!status.ok()) Fail(op, status);
+                               });
     return;
   }
 

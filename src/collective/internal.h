@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/collective/collective.h"
+#include "src/comm/transfer_engine.h"
 #include "src/device/rdma_device.h"
 
 namespace rdmadl {
@@ -34,6 +35,9 @@ struct CollectiveGroup::Rank {
   int index = 0;
   Endpoint endpoint;
   std::unique_ptr<device::RdmaDevice> device;
+  // Shared transfer engine (lane striping for big chunks; coalescing forced
+  // off for collectives). Declared after |device|: it is torn down first.
+  std::unique_ptr<comm::TransferEngine> engine;
 
   // Data buffer.
   uint64_t data_addr = 0;

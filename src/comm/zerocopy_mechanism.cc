@@ -53,6 +53,7 @@ struct ZeroCopyRdmaMechanism::EdgeState {
   HostRuntime* dst = nullptr;
   device::RdmaChannel* channel = nullptr;       // src -> dst, carries writes.
   device::RdmaChannel* read_channel = nullptr;  // dst -> src, carries reads.
+  int qp_index = 0;                             // Lane hint for the engine.
 
   // ---- Receiver state ----
   RecvPhase phase = RecvPhase::kWaiting;
@@ -304,6 +305,7 @@ Status ZeroCopyRdmaMechanism::SetupEdge(EdgeState* s) {
   // Channels: spread edges across the configured QPs (§3.1 / Figure 4).
   const int qp_count = s->src->options().num_qps_per_peer;
   const int qp_idx = static_cast<int>(edges_.size()) % qp_count;
+  s->qp_index = qp_idx;
   RDMADL_ASSIGN_OR_RETURN(s->channel,
                           s->src->rdma_device()->GetChannel(s->dst->endpoint(), qp_idx));
   RDMADL_ASSIGN_OR_RETURN(s->read_channel,
@@ -311,8 +313,22 @@ Status ZeroCopyRdmaMechanism::SetupEdge(EdgeState* s) {
   return OkStatus();
 }
 
+TransferEngine* ZeroCopyRdmaMechanism::engine_for(HostRuntime* src) {
+  for (auto& [host, engine] : engines_) {
+    if (host == src) return engine.get();
+  }
+  auto engine = std::make_unique<TransferEngine>(src->rdma_device(), options_.engine);
+  engine->BeginEpoch(step_);
+  TransferEngine* raw = engine.get();
+  engines_.emplace_back(src, std::move(engine));
+  return raw;
+}
+
 void ZeroCopyRdmaMechanism::BeginStep(int64_t step) {
   step_ = step;
+  for (auto& [host, engine] : engines_) {
+    engine->BeginEpoch(step);
+  }
   const bool tracing = options_.graph_analysis && step == 0;
   for (auto& [host, a] : analysis_) {
     a.tracer.set_tracing(tracing);
@@ -339,6 +355,11 @@ void ZeroCopyRdmaMechanism::BeginStep(int64_t step) {
 }
 
 void ZeroCopyRdmaMechanism::ResetTransientState() {
+  // Queued-but-unposted coalesced writes belong to the aborted step; drop
+  // them before rearming the edges (mirrors DropPendingCallbacks).
+  for (auto& [host, engine] : engines_) {
+    engine->ResetTransientState();
+  }
   for (auto& [key, state] : edges_) {
     EdgeState* s = state.get();
     s->phase = RecvPhase::kWaiting;
@@ -439,6 +460,42 @@ int64_t ZeroCopyRdmaMechanism::Send(const graph::TransferEdge& edge, const Tenso
     return 0;
   }
 
+  // MR registration cache (§3.4 registration pressure): instead of staging,
+  // register the buffer's pages through the extent cache and send zero-copy
+  // in place. Repeat sends of the same buffer hit the cache and skip the
+  // pinning cost entirely.
+  if (options_.use_mr_cache && !in_gpu) {
+    TransferEngine* engine = engine_for(src);
+    StatusOr<TransferEngine::MrHandle> cached = engine->GetOrRegisterMr(ptr, bytes);
+    if (cached.ok()) {
+      ++stats_.mr_cache_sends;
+      if (cached->hit) {
+        ++stats_.mr_cache_hits;
+      } else {
+        ++stats_.mr_cache_misses;
+      }
+      stats_.mr_cache_evictions += cached->evictions;
+      ++stats_.zero_copy_sends;  // No staging copy: the pages serve in place.
+      if (options_.enable_ladder) on_sent = WrapLadder(s, std::move(on_sent));
+      const int64_t register_ns = cached->register_ns;
+      const void* send_ptr = ptr;
+      const uint32_t cached_lkey = cached->lkey;
+      const uint32_t cached_rkey = cached->rkey;
+      simulator->ScheduleAfter(
+          register_ns, [this, s, send_ptr, cached_lkey, cached_rkey, bytes, tensor,
+                        on_sent = std::move(on_sent)]() mutable {
+            if (s->protocol == Protocol::kStatic) {
+              PostWrites(s, send_ptr, cached_lkey, bytes, std::move(on_sent));
+            } else {
+              PostMetadataWrite(s, send_ptr, cached_lkey, bytes, tensor, std::move(on_sent),
+                                cached_rkey);
+            }
+          });
+      return register_ns;  // Page pinning runs on the issuing thread (§3.4).
+    }
+    // NIC/capacity exhaustion: fall through to the staging path.
+  }
+
   // Staging path: allocate an RDMA-accessible buffer and copy into it.
   StatusOr<RdmaArena*> arena_or = src->rdma_arena();
   if (!arena_or.ok()) {
@@ -521,39 +578,38 @@ int64_t ZeroCopyRdmaMechanism::Send(const graph::TransferEdge& edge, const Tenso
 
 void ZeroCopyRdmaMechanism::PostWrites(EdgeState* s, const void* src_ptr, uint32_t lkey,
                                        uint64_t bytes, std::function<void(Status)> on_sent) {
-  // Two writes on one QP: payload then flag. RC QPs execute WRs in FIFO
-  // order and deliver each write's bytes in ascending address order, so the
-  // flag byte is the last byte to land — the §3.2 guarantee.
-  const bool copy_payload = s->src->real_memory();
-  auto on_sent_shared = std::make_shared<std::function<void(Status)>>(std::move(on_sent));
-  s->channel->Memcpy(const_cast<void*>(src_ptr), lkey, s->remote_data.addr,
-                     s->remote_data.rkey, bytes, Direction::kLocalToRemote,
-                     [on_sent_shared](const Status& status) {
-                       if (!status.ok() && *on_sent_shared) {
-                         auto cb = std::move(*on_sent_shared);
-                         *on_sent_shared = nullptr;
-                         cb(status);
-                       }
-                     },
-                     copy_payload);
+  // Payload then flag, routed through the transfer engine: small tensors may
+  // share a doorbell batch with other edges to the same host, large ones are
+  // striped across QP lanes, and everything else takes the classic two-WR
+  // same-QP path. On every route the flag byte is the last to land — the
+  // §3.2 guarantee.
   StatusOr<RdmaArena*> src_meta = s->src->meta_arena();
   CHECK(src_meta.ok());
-  uint8_t* flag_src = FlagSource(s->src);
-  s->channel->Memcpy(flag_src, (*src_meta)->lkey, s->remote_flag.addr, s->remote_flag.rkey, 1,
-                     Direction::kLocalToRemote,
-                     [on_sent_shared](const Status& status) {
-                       if (*on_sent_shared) {
-                         auto cb = std::move(*on_sent_shared);
-                         *on_sent_shared = nullptr;
-                         cb(status);
-                       }
-                     },
-                     /*copy_bytes=*/true);
+  TransferEngine::WriteDesc payload;
+  payload.local_addr = const_cast<void*>(src_ptr);
+  payload.lkey = lkey;
+  payload.remote_addr = s->remote_data.addr;
+  payload.rkey = s->remote_data.rkey;
+  payload.bytes = bytes;
+  payload.copy_bytes = s->src->real_memory();
+  TransferEngine::WriteDesc flag;
+  flag.local_addr = FlagSource(s->src);
+  flag.lkey = (*src_meta)->lkey;
+  flag.remote_addr = s->remote_flag.addr;
+  flag.rkey = s->remote_flag.rkey;
+  flag.bytes = 1;
+  flag.copy_bytes = true;
+  const TransferEngine::Route route = engine_for(s->src)->WriteWithFlag(
+      s->dst->endpoint(), payload, flag, s->qp_index,
+      [cb = std::move(on_sent)](const Status& status) { cb(status); });
+  if (route == TransferEngine::Route::kStriped) ++stats_.striped_sends;
+  if (route == TransferEngine::Route::kCoalesced) ++stats_.coalesced_sends;
 }
 
 void ZeroCopyRdmaMechanism::PostMetadataWrite(EdgeState* s, const void* data_ptr, uint32_t lkey,
                                               uint64_t bytes, const Tensor& tensor,
-                                              std::function<void(Status)> on_sent) {
+                                              std::function<void(Status)> on_sent,
+                                              uint32_t data_rkey) {
   // Serialize the (small, fixed-size) metadata: dims, dtype, and where the
   // receiver should read the payload from.
   uint8_t* m = s->src_meta_staging;
@@ -565,18 +621,36 @@ void ZeroCopyRdmaMechanism::PostMetadataWrite(EdgeState* s, const void* data_ptr
   }
   uint8_t* tail = m + 8 + 8 * shape.num_dims();
   PutU64(tail, reinterpret_cast<uint64_t>(data_ptr));
-  StatusOr<const RdmaArena*> arena = s->src->ArenaFor(data_ptr);
-  CHECK(arena.ok()) << arena.status();
-  PutU32(tail + 8, (*arena)->rkey);
+  if (data_rkey == 0) {
+    StatusOr<const RdmaArena*> arena = s->src->ArenaFor(data_ptr);
+    CHECK(arena.ok()) << arena.status();
+    data_rkey = (*arena)->rkey;
+  }
+  PutU32(tail + 8, data_rkey);
   PutU64(tail + 12, bytes);
-  m[s->meta_bytes - 1] = 1;  // Tail flag, last byte of the single write.
+  m[s->meta_bytes - 1] = 1;  // Tail flag, last byte to land.
 
-  s->channel->Memcpy(m, s->src_meta_lkey, s->remote_meta.addr, s->remote_meta.rkey,
-                     s->meta_bytes, Direction::kLocalToRemote,
-                     [on_sent = std::move(on_sent)](const Status& status) {
-                       on_sent(status);
-                     },
-                     /*copy_bytes=*/true);
+  // Routed through the engine as body + 1-byte tail flag: metadata blocks are
+  // classic small-message traffic, so per-step dynamic-protocol edges to the
+  // same host share one doorbell batch.
+  TransferEngine::WriteDesc body;
+  body.local_addr = m;
+  body.lkey = s->src_meta_lkey;
+  body.remote_addr = s->remote_meta.addr;
+  body.rkey = s->remote_meta.rkey;
+  body.bytes = s->meta_bytes - 1;
+  body.copy_bytes = true;
+  TransferEngine::WriteDesc flag;
+  flag.local_addr = m + s->meta_bytes - 1;
+  flag.lkey = s->src_meta_lkey;
+  flag.remote_addr = s->remote_meta.addr + s->meta_bytes - 1;
+  flag.rkey = s->remote_meta.rkey;
+  flag.bytes = 1;
+  flag.copy_bytes = true;
+  const TransferEngine::Route route = engine_for(s->src)->WriteWithFlag(
+      s->dst->endpoint(), body, flag, s->qp_index,
+      [cb = std::move(on_sent)](const Status& status) { cb(status); });
+  if (route == TransferEngine::Route::kCoalesced) ++stats_.coalesced_sends;
 }
 
 bool ZeroCopyRdmaMechanism::TryRecv(const graph::TransferEdge& edge, Tensor* out) {

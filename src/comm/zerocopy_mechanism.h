@@ -43,9 +43,11 @@
 #include <memory>
 #include <unordered_map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "src/analyzer/allocation_tracer.h"
+#include "src/comm/transfer_engine.h"
 #include "src/runtime/session.h"
 #include "src/runtime/transfer.h"
 
@@ -70,6 +72,16 @@ struct ZeroCopyOptions {
   bool enable_ladder = true;
   int ladder_demote_after = 2;     // Consecutive zero-copy failures to demote.
   int ladder_probation_after = 3;  // Clean degraded sends before re-probing.
+  // ---- Transfer-engine fast path (ISSUE 5): per-sender lane striping for
+  // large writes and doorbell coalescing for small ones. Both default on;
+  // disable individual paths here for ablations.
+  TransferEngineOptions engine;
+  // MR registration cache: unregistered send buffers are registered through
+  // an extent-based LRU cache instead of being staged-copied into the arena,
+  // so repeated dynamic-protocol sends of the same buffer pay the §3.4
+  // pinning cost once. Off by default: staging is the paper's baseline
+  // behavior (RDMA.cp) and the cache changes which path such sends take.
+  bool use_mr_cache = false;
 };
 
 struct ZeroCopyStats {
@@ -86,6 +98,13 @@ struct ZeroCopyStats {
   int64_t degraded_sends = 0;
   uint64_t degraded_bytes = 0;
   int64_t probation_probes = 0;
+  // Transfer engine.
+  int64_t striped_sends = 0;     // Sends split across QP lanes.
+  int64_t coalesced_sends = 0;   // Sends merged into doorbell batches.
+  int64_t mr_cache_sends = 0;    // Sends served by a cache-registered MR.
+  int64_t mr_cache_hits = 0;
+  int64_t mr_cache_misses = 0;
+  int64_t mr_cache_evictions = 0;
 };
 
 // Which transport a degradable edge is currently on.
@@ -142,10 +161,12 @@ class ZeroCopyRdmaMechanism : public runtime::TransferMechanism {
   // same QP. |src_ptr| must lie inside a registered arena covered by |lkey|.
   void PostWrites(EdgeState* state, const void* src_ptr, uint32_t lkey, uint64_t bytes,
                   std::function<void(Status)> on_sent);
-  // Dynamic protocol: single metadata write (tail flag included).
+  // Dynamic protocol: metadata write with the tail flag as its last byte.
+  // |data_rkey| overrides the rkey advertised for the payload (cache-
+  // registered MRs live outside the arenas); 0 derives it from ArenaFor.
   void PostMetadataWrite(EdgeState* state, const void* data_ptr, uint32_t lkey,
                          uint64_t bytes, const tensor::Tensor& tensor,
-                         std::function<void(Status)> on_sent);
+                         std::function<void(Status)> on_sent, uint32_t data_rkey = 0);
   void StartDynamicRead(EdgeState* state);
   // The 1-byte "flag = 1" source buffer in |host|'s meta arena.
   uint8_t* FlagSource(runtime::HostRuntime* host);
@@ -172,12 +193,17 @@ class ZeroCopyRdmaMechanism : public runtime::TransferMechanism {
   };
   DeviceAnalysis& analysis(runtime::HostRuntime* host) { return analysis_[host]; }
 
+  // Per-sending-device transfer engine, created lazily. Kept in creation
+  // order (not keyed by pointer value) so iteration is run-to-run stable.
+  TransferEngine* engine_for(runtime::HostRuntime* src);
+
   runtime::Cluster* cluster_;
   ZeroCopyOptions options_;
   ZeroCopyStats stats_;
   std::unordered_map<std::string, std::unique_ptr<EdgeState>> edges_;
   std::map<runtime::HostRuntime*, DeviceAnalysis> analysis_;
   std::map<runtime::HostRuntime*, uint8_t*> flag_sources_;
+  std::vector<std::pair<runtime::HostRuntime*, std::unique_ptr<TransferEngine>>> engines_;
   int64_t step_ = -1;
   bool tracing_step_ = false;
 };

@@ -149,6 +149,56 @@ void RdmaChannel::Memcpy(void* local_addr, uint32_t lkey, uint64_t remote_addr, 
   }
 }
 
+void RdmaChannel::MemcpyBatch(std::vector<BatchWrite> writes) {
+  if (writes.empty()) return;
+  std::vector<rdma::SendWorkRequest> wrs;
+  wrs.reserve(writes.size());
+  std::vector<uint64_t> wr_ids;
+  wr_ids.reserve(writes.size());
+  for (BatchWrite& w : writes) {
+    rdma::SendWorkRequest wr;
+    wr.wr_id = device_->next_wr_id_++;
+    wr.opcode = rdma::Opcode::kWrite;
+    wr.local_addr = reinterpret_cast<uint64_t>(w.local_addr);
+    wr.lkey = w.lkey;
+    wr.length = w.size;
+    wr.remote_addr = w.remote_addr;
+    wr.rkey = w.rkey;
+    wr.copy_bytes = w.copy_bytes;
+    wrs.push_back(wr);
+    wr_ids.push_back(wr.wr_id);
+    device_->pending_sends_[wr.wr_id] = std::move(w.callback);
+  }
+  Status s = qp_->PostSendBatch(std::move(wrs));
+  if (!s.ok()) {
+    // Whole-batch post failure: deliver it to every entry, asynchronously for
+    // a uniform contract.
+    for (uint64_t wr_id : wr_ids) {
+      auto it = device_->pending_sends_.find(wr_id);
+      if (it == device_->pending_sends_.end()) continue;
+      MemcpyCallback cb = std::move(it->second);
+      device_->pending_sends_.erase(it);
+      if (cb) {
+        device_->simulator()->ScheduleAfter(0, [cb = std::move(cb), s]() { cb(s); });
+      }
+    }
+    return;
+  }
+  if (device_->memcpy_timeout_ns_ > 0) {
+    RdmaDevice* dev = device_;
+    for (uint64_t wr_id : wr_ids) {
+      dev->simulator()->ScheduleAfter(dev->memcpy_timeout_ns_, [dev, wr_id]() {
+        auto it = dev->pending_sends_.find(wr_id);
+        if (it == dev->pending_sends_.end()) return;  // Completed in time.
+        MemcpyCallback cb = std::move(it->second);
+        dev->pending_sends_.erase(it);
+        dev->abandoned_wr_ids_.insert(wr_id);
+        if (cb) cb(DeadlineExceeded("RDMA memcpy timed out"));
+      });
+    }
+  }
+}
+
 // ------------------------------------------------------------------ RdmaDevice
 
 RdmaDevice::RdmaDevice(DeviceDirectory* directory, int num_qps_per_peer, const Endpoint& local)

@@ -104,6 +104,23 @@ class RdmaChannel {
               uint64_t size, Direction direction, MemcpyCallback callback,
               bool copy_bytes = true);
 
+  // One entry of a doorbell-chained write batch (MemcpyBatch).
+  struct BatchWrite {
+    void* local_addr = nullptr;
+    uint32_t lkey = 0;
+    uint64_t remote_addr = 0;
+    uint32_t rkey = 0;
+    uint64_t size = 0;      // Must be > 0.
+    bool copy_bytes = true;
+    MemcpyCallback callback;  // Fires at that entry's completion.
+  };
+
+  // Posts every entry as one doorbell-chained RDMA-write WQE list: the
+  // per-message posting and NIC-processing overheads are paid once for the
+  // whole batch (the transfer engine's small-tensor coalescing). Entries
+  // complete in posting order; the chain shares fate on transport failure.
+  void MemcpyBatch(std::vector<BatchWrite> writes);
+
   int qp_index() const { return qp_index_; }
   const Endpoint& remote() const { return remote_; }
 

@@ -30,6 +30,14 @@ struct CostModel {
   // ordering guarantee of Mellanox NICs that the flag-byte protocol relies on).
   uint64_t rdma_mtu_bytes = 4096;
 
+  // Per-QP WQE-engine throughput ceiling: a single queue pair's processing
+  // pipeline (WQE fetch, DMA scheduling, segmentation) tops out below link
+  // rate on large transfers, which is what makes multi-QP lane striping pay
+  // off on real NICs. Modeled as an extra initiation delay of length/rate
+  // before the wire transfer starts; 0 disables the ceiling (single QP
+  // reaches full link rate, the pre-striping behavior).
+  double rdma_qp_engine_bytes_per_sec = 0.0;
+
   // IB RC transport reliability: on a lost segment the QP retransmits the
   // work request with exponential backoff (base << attempt), up to the retry
   // count (the 3-bit retry_cnt field caps at 7); exhaustion moves the QP to

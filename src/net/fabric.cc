@@ -10,6 +10,67 @@
 namespace rdmadl {
 namespace net {
 
+namespace {
+
+// Shared state for one bulk transfer's per-segment delivery events. Plain
+// heap block, not a shared_ptr: each event closure captures only
+// {Progress*, segment index} — 16 trivially-copyable bytes, which fits
+// std::function's inline buffer — so scheduling a segment allocates nothing.
+// The last event to fire deletes the block.
+struct Progress {
+  struct Segment {
+    uint64_t offset = 0;
+    uint64_t length = 0;  // 0 for dropped or zero-payload segments.
+    int64_t deliver_at = 0;
+    bool dropped = false;
+  };
+  uint64_t delivered = 0;
+  uint64_t total_bytes = 0;
+  uint64_t check_id = 0;
+  int src = 0;
+  int dst = 0;
+  uint32_t fired = 0;
+  std::vector<Segment> segments;
+  std::function<void(uint64_t, uint64_t)> on_chunk;
+  std::function<void(Status)> on_complete;
+};
+
+void DeliverSegment(Progress* progress, uint32_t index) {
+  const Progress::Segment& seg = progress->segments[index];
+  if (seg.dropped) {
+    // A lost segment truncates the transfer: the in-order transport delivers
+    // nothing past the gap, so earlier segments land normally and the
+    // completion (fired at the lost segment's delivery time, when the
+    // sender's retransmission timer would notice) carries the failure. A
+    // retry rewrites from offset 0, preserving the ascending-prefix invariant
+    // receivers rely on.
+    check::OnTransferFinished(progress->check_id);
+    if (progress->on_complete) {
+      auto complete = std::move(progress->on_complete);
+      progress->on_complete = nullptr;
+      complete(Unavailable(StrCat("segment lost on host", progress->src, "->host",
+                                  progress->dst, " at offset ", seg.offset)));
+    }
+  } else {
+    if (seg.length > 0) {
+      check::OnTransferSegment(progress->check_id, seg.offset, seg.length, seg.deliver_at);
+      if (progress->on_chunk) progress->on_chunk(seg.offset, seg.length);
+    }
+    progress->delivered += seg.length;
+    if (progress->delivered >= progress->total_bytes) {
+      check::OnTransferFinished(progress->check_id);
+      if (progress->on_complete) {
+        auto complete = std::move(progress->on_complete);
+        progress->on_complete = nullptr;
+        complete(OkStatus());
+      }
+    }
+  }
+  if (++progress->fired == progress->segments.size()) delete progress;
+}
+
+}  // namespace
+
 Host::Host(int id, sim::Simulator* simulator, const CostModel* cost)
     : id_(id),
       simulator_(simulator),
@@ -152,17 +213,14 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
 
   const uint64_t total = std::max<uint64_t>(bytes, 1);
 
-  // Shared state across the per-chunk closures.
-  struct Progress {
-    uint64_t delivered = 0;
-    uint64_t total_bytes;
-    std::function<void(uint64_t, uint64_t)> on_chunk;
-    std::function<void(Status)> on_complete;
-  };
-  auto progress = std::make_shared<Progress>();
+  auto* progress = new Progress();
   progress->total_bytes = bytes;
+  progress->check_id = check_id;
+  progress->src = src;
+  progress->dst = dst;
   progress->on_chunk = std::move(on_chunk);
   progress->on_complete = std::move(on_complete);
+  progress->segments.reserve(static_cast<size_t>((total + chunk_size - 1) / chunk_size));
 
   uint64_t offset = 0;
   int64_t cursor = now;  // Egress reservations are sequential per transfer.
@@ -180,50 +238,28 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
       dst_host->ingress().Reserve(egress_done - wire_ns + latency, wire_ns);
     }
     cursor = egress_done;
-    const int64_t deliver_at = egress_done + latency;
-    const uint64_t this_offset = offset;
 
-    // A lost segment truncates the transfer: the in-order transport delivers
-    // nothing past the gap, so earlier segments land normally and the
-    // completion (fired at the lost segment's delivery time, when the sender's
-    // retransmission timer would notice) carries the failure. A retry rewrites
-    // from offset 0, preserving the ascending-prefix invariant receivers rely
-    // on.
-    if (fault_ != nullptr && fault_->ShouldDropSegment(src, dst)) {
+    Progress::Segment seg;
+    seg.offset = offset;
+    seg.length = (bytes == 0) ? 0 : len;
+    seg.deliver_at = egress_done + latency;
+    seg.dropped = fault_ != nullptr && fault_->ShouldDropSegment(src, dst);
+    if (seg.dropped) {
+      seg.length = 0;
       sim::TraceInstant("fault",
-                        StrCat("drop host", src, "->host", dst, " offset=", this_offset),
-                        deliver_at);
-      simulator_->ScheduleAt(deliver_at, [progress, src, dst, this_offset, check_id]() {
-        check::OnTransferFinished(check_id);
-        if (progress->on_complete) {
-          auto complete = std::move(progress->on_complete);
-          progress->on_complete = nullptr;
-          complete(Unavailable(StrCat("segment lost on host", src, "->host", dst,
-                                      " at offset ", this_offset)));
-        }
-      });
-      return;
+                        StrCat("drop host", src, "->host", dst, " offset=", seg.offset),
+                        seg.deliver_at);
     }
-
-    const uint64_t payload_len = (bytes == 0) ? 0 : len;
-    simulator_->ScheduleAt(deliver_at, [progress, this_offset, payload_len, check_id,
-                                        deliver_at]() {
-      if (payload_len > 0) {
-        check::OnTransferSegment(check_id, this_offset, payload_len, deliver_at);
-      }
-      if (progress->on_chunk && payload_len > 0) {
-        progress->on_chunk(this_offset, payload_len);
-      }
-      progress->delivered += payload_len;
-      const bool done = progress->delivered >= progress->total_bytes;
-      if (done) check::OnTransferFinished(check_id);
-      if (done && progress->on_complete) {
-        auto complete = std::move(progress->on_complete);
-        progress->on_complete = nullptr;
-        complete(OkStatus());
-      }
-    });
+    progress->segments.push_back(seg);
+    // No segment is delivered past a drop (DeliverSegment turns it into the
+    // failed completion at its delivery time).
+    if (seg.dropped) break;
     offset += len;
+  }
+
+  for (uint32_t i = 0; i < progress->segments.size(); ++i) {
+    simulator_->ScheduleAt(progress->segments[i].deliver_at,
+                           [progress, i]() { DeliverSegment(progress, i); });
   }
 }
 

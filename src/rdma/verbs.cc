@@ -1,6 +1,8 @@
 #include "src/rdma/verbs.h"
 
+#include <algorithm>
 #include <cstring>
+#include <memory>
 #include <utility>
 
 #include "src/check/rdma_check.h"
@@ -77,7 +79,35 @@ Status QueuePair::PostSend(const SendWorkRequest& wr) {
     FlushPostedSend(wr);
     return OkStatus();
   }
-  send_queue_.push_back(wr);
+  send_queue_.push_back(Batch{wr});
+  MaybeStartNext();
+  return OkStatus();
+}
+
+Status QueuePair::PostSendBatch(std::vector<SendWorkRequest> wrs) {
+  if (peer_ == nullptr) {
+    return FailedPrecondition("QP not connected");
+  }
+  if (wrs.empty()) {
+    return InvalidArgument("empty WR batch");
+  }
+  for (const SendWorkRequest& wr : wrs) {
+    if (wr.opcode != Opcode::kWrite) {
+      return InvalidArgument("WR batches support RDMA_WRITE only");
+    }
+    if (wr.length == 0) {
+      return InvalidArgument("zero-length WR in batch");
+    }
+    if (nic_->FindLocalRegion(wr.lkey, wr.local_addr, wr.length) == nullptr) {
+      return InvalidArgument(StrCat("local buffer not registered: lkey=", wr.lkey, " addr=",
+                                    wr.local_addr, " len=", wr.length));
+    }
+  }
+  if (state_ == QpState::kError) {
+    for (const SendWorkRequest& wr : wrs) FlushPostedSend(wr);
+    return OkStatus();
+  }
+  send_queue_.push_back(std::move(wrs));
   MaybeStartNext();
   return OkStatus();
 }
@@ -110,11 +140,25 @@ Status QueuePair::Recover() {
 void QueuePair::MaybeStartNext() {
   if (engine_busy_ || state_ == QpState::kError || send_queue_.empty()) return;
   engine_busy_ = true;
-  SendWorkRequest wr = send_queue_.front();
+  Batch batch = std::move(send_queue_.front());
   send_queue_.pop_front();
-  // Posting overhead (doorbell + WQE fetch) before the engine acts.
+  // Posting overhead (doorbell + WQE fetch) before the engine acts — charged
+  // once per doorbell, whether it rings one WQE or a chained list.
+  if (batch.size() == 1) {
+    SendWorkRequest wr = batch.front();
+    nic_->simulator()->ScheduleAfter(nic_->cost().rdma_post_overhead_ns,
+                                     [this, wr]() { Execute(wr); });
+    return;
+  }
+  auto shared = std::make_shared<Batch>(std::move(batch));
   nic_->simulator()->ScheduleAfter(nic_->cost().rdma_post_overhead_ns,
-                                   [this, wr]() { Execute(wr); });
+                                   [this, shared]() { ExecuteBatch(shared); });
+}
+
+int64_t QueuePair::EngineDelayNs(uint64_t bytes) const {
+  const double rate = nic_->cost().rdma_qp_engine_bytes_per_sec;
+  if (rate <= 0.0) return 0;
+  return static_cast<int64_t>(static_cast<double>(bytes) / rate * 1e9);
 }
 
 void QueuePair::Execute(const SendWorkRequest& wr) {
@@ -156,7 +200,7 @@ void QueuePair::ExecuteWrite(const SendWorkRequest& wr) {
   uint8_t* dst = reinterpret_cast<uint8_t*>(wr.remote_addr);
   nic_->fabric()->Transfer(
       nic_->host_id(), target_nic->host_id(), wr.length, net::Plane::kRdma,
-      nic_->cost().rdma_nic_processing_ns,
+      nic_->cost().rdma_nic_processing_ns + EngineDelayNs(wr.length),
       // Segments land in ascending address order; each is copied for real so
       // a flag-byte poller on the target sees partial tensors faithfully.
       [this, src, dst, copy = wr.copy_bytes, wr_id = wr.wr_id](uint64_t offset,
@@ -187,7 +231,7 @@ void QueuePair::ExecuteRead(const SendWorkRequest& wr) {
   // NIC processing), then the data streams back.
   const int64_t request_trip =
       nic_->cost().rdma_nic_processing_ns + nic_->cost().rdma_one_way_latency_ns +
-      nic_->cost().rdma_nic_processing_ns;
+      nic_->cost().rdma_nic_processing_ns + EngineDelayNs(wr.length);
   nic_->fabric()->Transfer(
       target_nic->host_id(), nic_->host_id(), wr.length, net::Plane::kRdma, request_trip,
       [src, dst, copy = wr.copy_bytes](uint64_t offset, uint64_t length) {
@@ -272,18 +316,146 @@ void QueuePair::FinishCurrent(const SendWorkRequest& wr, Status status, uint64_t
   });
 }
 
+void QueuePair::ExecuteBatch(const std::shared_ptr<Batch>& batch) {
+  NicDevice* target_nic = peer_->nic_;
+  const int64_t now = nic_->simulator()->Now();
+  for (const SendWorkRequest& wr : *batch) {
+    check::OnWritePosted(nic_->host_id(), target_nic->host_id(), qp_num_, wr.wr_id,
+                         wr.remote_addr, wr.length, wr.rkey, now);
+  }
+  // A chained WQE list shares fate: validate every target before any byte
+  // moves, and fail the whole batch on the first violation.
+  uint64_t total = 0;
+  for (const SendWorkRequest& wr : *batch) {
+    const MemoryRegion* target =
+        target_nic->FindRemoteRegion(wr.rkey, wr.remote_addr, wr.length);
+    if (target == nullptr) {
+      ++target_nic->stats_.rkey_violations;
+      for (const SendWorkRequest& w : *batch) {
+        check::OnWriteFinished(nic_->host_id(), qp_num_, w.wr_id, now);
+      }
+      FinishBatch(batch,
+                  Status(StatusCode::kInvalidArgument,
+                         StrCat("remote access violation in WR batch: rkey=", wr.rkey,
+                                " addr=", wr.remote_addr, " len=", wr.length)),
+                  /*ok=*/false);
+      return;
+    }
+    total += wr.length;
+  }
+  nic_->stats_.writes += batch->size();
+  nic_->stats_.write_bytes += total;
+  ++nic_->stats_.doorbell_batches;
+  // One wire stream carries the concatenated payloads in posting order;
+  // segments are scattered back to the sub-WRs by a cursor walk. Fabric
+  // delivery is ascending in stream offset, so each sub-WR still receives its
+  // bytes in ascending address order (the §3.2 guarantee, per WR).
+  struct Cursor {
+    size_t idx = 0;      // First WR not yet fully delivered.
+    uint64_t base = 0;   // Stream offset where that WR starts.
+  };
+  auto cursor = std::make_shared<Cursor>();
+  nic_->fabric()->Transfer(
+      nic_->host_id(), target_nic->host_id(), total, net::Plane::kRdma,
+      nic_->cost().rdma_nic_processing_ns + EngineDelayNs(total),
+      [this, batch, cursor](uint64_t offset, uint64_t length) {
+        while (length > 0) {
+          const SendWorkRequest& wr = (*batch)[cursor->idx];
+          const uint64_t rel = offset - cursor->base;
+          const uint64_t take = std::min<uint64_t>(length, wr.length - rel);
+          check::OnWriteSegment(nic_->host_id(), qp_num_, wr.wr_id, rel, take,
+                                nic_->simulator()->Now());
+          if (wr.copy_bytes) {
+            std::memcpy(reinterpret_cast<uint8_t*>(wr.remote_addr) + rel,
+                        reinterpret_cast<const uint8_t*>(wr.local_addr) + rel, take);
+          }
+          offset += take;
+          length -= take;
+          if (rel + take == wr.length) {
+            cursor->base += wr.length;
+            ++cursor->idx;
+          }
+        }
+      },
+      [this, batch](Status status) { CompleteBatchWire(batch, status); });
+}
+
+void QueuePair::CompleteBatchWire(const std::shared_ptr<Batch>& batch, const Status& status) {
+  if (status.ok()) {
+    retry_attempts_ = 0;
+    const int64_t now = nic_->simulator()->Now();
+    for (const SendWorkRequest& wr : *batch) {
+      check::OnWriteFinished(nic_->host_id(), qp_num_, wr.wr_id, now);
+    }
+    FinishBatch(batch, OkStatus(), /*ok=*/true);
+    return;
+  }
+  // The RC transport retransmits the whole chain with exponential backoff,
+  // mirroring the single-WR path.
+  if (retry_attempts_ < nic_->cost().rdma_transport_retry_count) {
+    const int64_t backoff = nic_->cost().rdma_transport_retry_base_ns << retry_attempts_;
+    ++retry_attempts_;
+    ++nic_->stats_.retransmissions;
+    sim::TraceInstant(StrCat("host", nic_->host_id(), ".nic"),
+                      StrCat("retransmit qp", qp_num_, " batch of ", batch->size(),
+                             " attempt ", retry_attempts_),
+                      nic_->simulator()->Now());
+    nic_->simulator()->ScheduleAfter(backoff, [this, batch]() { ExecuteBatch(batch); });
+    return;
+  }
+  const int64_t now = nic_->simulator()->Now();
+  for (const SendWorkRequest& wr : *batch) {
+    check::OnWriteFinished(nic_->host_id(), qp_num_, wr.wr_id, now);
+  }
+  retry_attempts_ = 0;
+  state_ = QpState::kError;
+  error_cause_ = Unavailable(StrCat("transport retry limit (",
+                                    nic_->cost().rdma_transport_retry_count,
+                                    ") exhausted: ", status.message()))
+                     .WithContextFrom(status);
+  sim::TraceInstant(StrCat("host", nic_->host_id(), ".nic"),
+                    StrCat("qp", qp_num_, " -> ERROR: ", status.message()),
+                    nic_->simulator()->Now());
+  FinishBatch(batch, error_cause_, /*ok=*/false);
+}
+
+void QueuePair::FinishBatch(const std::shared_ptr<Batch>& batch, Status status, bool ok) {
+  // The chain's CQEs are generated together and picked up by one poller pass:
+  // one cq_poll overhead for the batch, then per-WR completions in FIFO order.
+  nic_->simulator()->ScheduleAfter(
+      nic_->cost().cq_poll_overhead_ns, [this, batch, status = std::move(status), ok]() {
+        engine_busy_ = false;
+        for (const SendWorkRequest& wr : *batch) {
+          WorkCompletion wc;
+          wc.wr_id = wr.wr_id;
+          wc.opcode = wr.opcode;
+          wc.status = status;
+          wc.byte_len = ok ? wr.length : 0;
+          wc.qp_num = qp_num_;
+          send_cq_->Push(wc);
+        }
+        if (state_ == QpState::kError) {
+          FlushQueues();
+          return;
+        }
+        MaybeStartNext();
+      });
+}
+
 void QueuePair::FlushQueues() {
   // FIFO order, after the completion that carried the error.
   while (!send_queue_.empty()) {
-    SendWorkRequest wr = send_queue_.front();
+    Batch batch = std::move(send_queue_.front());
     send_queue_.pop_front();
-    ++nic_->stats_.flushed_wrs;
-    WorkCompletion wc;
-    wc.wr_id = wr.wr_id;
-    wc.opcode = wr.opcode;
-    wc.status = Aborted("WR flushed: QP in error state");
-    wc.qp_num = qp_num_;
-    send_cq_->Push(wc);
+    for (const SendWorkRequest& wr : batch) {
+      ++nic_->stats_.flushed_wrs;
+      WorkCompletion wc;
+      wc.wr_id = wr.wr_id;
+      wc.opcode = wr.opcode;
+      wc.status = Aborted("WR flushed: QP in error state");
+      wc.qp_num = qp_num_;
+      send_cq_->Push(wc);
+    }
   }
   while (!recv_queue_.empty()) {
     RecvWorkRequest wr = recv_queue_.front();

@@ -132,6 +132,16 @@ class QueuePair {
   Status Connect(QueuePair* peer);
 
   Status PostSend(const SendWorkRequest& wr);
+  // Posts a doorbell-chained batch of RDMA_WRITE WRs: one post overhead and
+  // one NIC processing pass for the whole chain (the WQEs are linked and rung
+  // with a single doorbell), one wire stream carrying the concatenated
+  // payloads in posting order, then one CQE per WR pushed in FIFO order. This
+  // is the verbs-level mechanism behind small-tensor coalescing: the
+  // per-message CPU overhead of the cost model is paid once per batch.
+  // Entries must be kWrite with length > 0. The chain shares fate like a real
+  // WQE list: a remote access violation or transport-retry exhaustion fails
+  // every WR in the batch.
+  Status PostSendBatch(std::vector<SendWorkRequest> wrs);
   Status PostRecv(const RecvWorkRequest& wr);
 
   // Returns an errored QP to kReady. Call only after the error has been
@@ -157,12 +167,22 @@ class QueuePair {
     bool copy_bytes = true;
   };
 
-  // Starts the next queued send WR if the engine is idle.
+  // A doorbell-chained WQE list; singles are batches of one.
+  using Batch = std::vector<SendWorkRequest>;
+
+  // Starts the next queued send batch if the engine is idle.
   void MaybeStartNext();
   void Execute(const SendWorkRequest& wr);
   void ExecuteWrite(const SendWorkRequest& wr);
   void ExecuteRead(const SendWorkRequest& wr);
   void ExecuteSend(const SendWorkRequest& wr);
+  // Batch counterparts of ExecuteWrite/CompleteWire/FinishCurrent.
+  void ExecuteBatch(const std::shared_ptr<Batch>& batch);
+  void CompleteBatchWire(const std::shared_ptr<Batch>& batch, const Status& status);
+  void FinishBatch(const std::shared_ptr<Batch>& batch, Status status, bool ok);
+  // Extra initiation delay modeling the per-QP WQE-engine throughput ceiling
+  // (cost.rdma_qp_engine_bytes_per_sec); 0 when the ceiling is disabled.
+  int64_t EngineDelayNs(uint64_t bytes) const;
   void FinishCurrent(const SendWorkRequest& wr, Status status, uint64_t bytes);
   // Wire completion for the in-flight WR: success finishes it, a transport
   // failure retries with backoff or errors the QP. |on_success| runs before
@@ -189,7 +209,7 @@ class QueuePair {
   Status error_cause_;
   int retry_attempts_ = 0;  // Transport retries consumed by the in-flight WR.
   bool engine_busy_ = false;
-  std::deque<SendWorkRequest> send_queue_;
+  std::deque<Batch> send_queue_;
   std::deque<RecvWorkRequest> recv_queue_;
   std::deque<InboundMessage> inbound_;
 };
@@ -204,8 +224,9 @@ struct NicStats {
   uint64_t registrations = 0;
   int64_t registration_cost_ns_total = 0;
   uint64_t rkey_violations = 0;
-  uint64_t retransmissions = 0;  // Transport-level segment-loss retries.
-  uint64_t flushed_wrs = 0;      // WRs flush-completed by an errored QP.
+  uint64_t retransmissions = 0;    // Transport-level segment-loss retries.
+  uint64_t flushed_wrs = 0;        // WRs flush-completed by an errored QP.
+  uint64_t doorbell_batches = 0;   // Multi-WR chains rung with one doorbell.
 };
 
 // One RDMA NIC on one host.

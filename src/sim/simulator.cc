@@ -6,11 +6,10 @@ namespace rdmadl {
 namespace sim {
 
 bool Simulator::Step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; moving the callback out is safe because we
-  // pop immediately and never compare the moved-from element again.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   CHECK_GE(ev.time, now_);
   now_ = ev.time;
   ++events_dispatched_;
@@ -34,14 +33,14 @@ Status Simulator::Run(uint64_t max_events) {
 Status Simulator::RunUntil(int64_t deadline, uint64_t max_events) {
   stop_requested_ = false;
   uint64_t fired = 0;
-  while (!stop_requested_ && !queue_.empty() && queue_.top().time <= deadline) {
+  while (!stop_requested_ && !heap_.empty() && NextEvent().time <= deadline) {
     if (fired++ >= max_events) {
       return Status(StatusCode::kDeadlineExceeded,
                     "simulator event cap hit; likely a polling livelock");
     }
     Step();
   }
-  if (now_ < deadline && queue_.empty()) {
+  if (now_ < deadline && heap_.empty()) {
     now_ = deadline;  // Idle time passes even with nothing scheduled.
   } else if (now_ < deadline) {
     now_ = deadline;
@@ -74,11 +73,11 @@ Status Simulator::RunUntilPredicateOrDeadline(const std::function<bool()>& done,
       return Status(StatusCode::kDeadlineExceeded,
                     "simulator event cap hit; likely a polling livelock");
     }
-    if (queue_.empty()) {
+    if (heap_.empty()) {
       return Status(StatusCode::kFailedPrecondition,
                     "event queue drained before predicate became true");
     }
-    if (queue_.top().time > deadline) {
+    if (NextEvent().time > deadline) {
       if (now_ < deadline) now_ = deadline;
       return Status(StatusCode::kDeadlineExceeded,
                     "virtual-time deadline reached before predicate became true");

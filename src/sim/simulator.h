@@ -9,9 +9,9 @@
 #ifndef RDMADL_SRC_SIM_SIMULATOR_H_
 #define RDMADL_SRC_SIM_SIMULATOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "src/util/logging.h"
@@ -30,7 +30,7 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
-  Simulator() = default;
+  Simulator() { heap_.reserve(kInitialEventCapacity); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -40,7 +40,8 @@ class Simulator {
   // Schedules |cb| to run at absolute virtual time |time| (>= Now()).
   void ScheduleAt(int64_t time, Callback cb) {
     CHECK_GE(time, now_) << "cannot schedule into the past";
-    queue_.push(Event{time, next_seq_++, std::move(cb)});
+    heap_.push_back(Event{time, next_seq_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
   }
 
   // Schedules |cb| to run |delay| nanoseconds from now.
@@ -75,9 +76,14 @@ class Simulator {
   // Number of events dispatched since construction.
   uint64_t events_dispatched() const { return events_dispatched_; }
 
-  bool empty() const { return queue_.empty(); }
+  bool empty() const { return heap_.empty(); }
 
   static constexpr uint64_t kDefaultMaxEvents = 500'000'000;
+
+  // Backing storage reserved up front: a steady-state training step keeps
+  // hundreds of events in flight, and reserving once avoids the repeated
+  // grow-and-move reallocations in the first moments of every simulation.
+  static constexpr size_t kInitialEventCapacity = 1024;
 
  private:
   struct Event {
@@ -94,11 +100,19 @@ class Simulator {
   // Pops and dispatches one event. Returns false when the queue is empty.
   bool Step();
 
+  // Earliest queued event (callers must check empty() first).
+  const Event& NextEvent() const { return heap_.front(); }
+
   int64_t now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_dispatched_ = 0;
   bool stop_requested_ = false;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // Min-heap on (time, seq) over an explicitly managed vector: identical
+  // dispatch order to the std::priority_queue it replaces, but the capacity
+  // is reserved up front, popping moves the callback out without the
+  // const_cast a priority_queue's const top() forces, and the vector's
+  // capacity survives drain/refill cycles.
+  std::vector<Event> heap_;
 };
 
 }  // namespace sim
