@@ -6,19 +6,25 @@
 # wall-clock. Virtual-time results go to stdout; wall-clock only to stderr
 # and the JSON, so stdout stays deterministic.
 #
+# Also runs the cluster-scale sweep (bench_scale: hosts x model x topology up
+# to 1000 simulated hosts) and emits BENCH_6.json with per-point virtual
+# time, wall-clock events/sec and QP-pool footprint.
+#
 # Usage:
-#   scripts/bench.sh            # full sweep -> BENCH_5.json
+#   scripts/bench.sh            # full sweeps -> BENCH_5.json + BENCH_6.json
 #   scripts/bench.sh --quick    # reduced size set (CI smoke config)
 #
 # Environment:
-#   BUILD_DIR  override the build directory (default: build)
-#   BENCH_OUT  override the output path (default: BENCH_5.json)
+#   BUILD_DIR   override the build directory (default: build)
+#   BENCH_OUT   override the transfer-sweep output (default: BENCH_5.json)
+#   BENCH6_OUT  override the cluster-scale output (default: BENCH_6.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCH_OUT="${BENCH_OUT:-BENCH_5.json}"
+BENCH6_OUT="${BENCH6_OUT:-BENCH_6.json}"
 JOBS="${JOBS:-$(nproc)}"
 
 QUICK=()
@@ -30,7 +36,9 @@ for arg in "$@"; do
 done
 
 cmake -B "$BUILD_DIR" -S . -DRDMADL_SANITIZE=OFF >/dev/null
-cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_fig8_micro >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_fig8_micro --target bench_scale >/dev/null
 
 "$BUILD_DIR/bench/bench_fig8_micro" --sweep "${QUICK[@]}" --json="$BENCH_OUT"
 echo "wrote $BENCH_OUT" >&2
+
+"$BUILD_DIR/bench/bench_scale" "${QUICK[@]}" --json="$BENCH6_OUT"

@@ -28,11 +28,18 @@
 #                                 # (bench_fig8_micro --quick --sweep is run
 #                                 # twice and the outputs diffed). Also part
 #                                 # of the default (no-flag) flow.
+#   scripts/check.sh --scale      # cluster-scale smoke: a 256-host all-reduce
+#                                 # and PS step (bench_scale --smoke) under
+#                                 # RdmaCheck plus a seeded chaos storm, run
+#                                 # twice with stdout diffed — crashes,
+#                                 # checker diagnostics, QP-cap overflows and
+#                                 # nondeterminism all fail. Also part of the
+#                                 # default (no-flag) flow.
 #
-# The chaos/elastic/check suites are also registered as ctest labels, so
-# `ctest -L chaos` / `ctest -L elastic` / `ctest -L check` run a two-seed
-# smoke subset as part of any ctest invocation; the modes here sweep the
-# full seed list.
+# The chaos/elastic/check/scale suites are also registered as ctest labels,
+# so `ctest -L chaos` / `ctest -L elastic` / `ctest -L check` /
+# `ctest -L scale` run a smoke subset as part of any ctest invocation; the
+# modes here sweep the full seed list or cluster size.
 #
 # Environment:
 #   BUILD_DIR    override the build directory (default: build, or
@@ -54,6 +61,7 @@ for arg in "$@"; do
     --elastic) MODE=elastic ;;
     --verify) MODE=verify ;;
     --bench-smoke) MODE=bench-smoke ;;
+    --scale) MODE=scale ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -94,6 +102,28 @@ bench_smoke() {
   echo "bench smoke passed (deterministic stdout, no crashes)"
 }
 
+# Cluster-scale smoke: bench_scale --smoke runs a 256-host ring all-reduce
+# and a 256-host colocated-PS training step, with RdmaCheck installed and a
+# seeded chaos storm (latency spikes + link-down windows — delay-only, so the
+# run must still complete) on the fabric. The binary itself fails on any
+# checker diagnostic or per-NIC QP-cap overflow; running it twice and diffing
+# stdout (virtual times and QP counters only — wall-clock goes to stderr)
+# gates determinism under pooling + chaos.
+scale_smoke() {
+  local build_dir="$1"
+  local out_a out_b
+  out_a="$(mktemp)" && out_b="$(mktemp)"
+  "$build_dir/bench/bench_scale" --smoke --check=1 >"$out_a" 2>/dev/null
+  "$build_dir/bench/bench_scale" --smoke --check=1 >"$out_b" 2>/dev/null
+  if ! diff -u "$out_a" "$out_b"; then
+    echo "scale smoke FAILED: bench_scale stdout differs between runs" >&2
+    rm -f "$out_a" "$out_b"
+    exit 1
+  fi
+  rm -f "$out_a" "$out_b"
+  echo "scale smoke passed (256-host step deterministic and checker-clean)"
+}
+
 case "$MODE" in
   plain)
     build_and_test OFF "${BUILD_DIR:-build}"
@@ -105,6 +135,7 @@ case "$MODE" in
   both)
     build_and_test OFF "${BUILD_DIR:-build}"
     bench_smoke "${BUILD_DIR:-build}"
+    scale_smoke "${BUILD_DIR:-build}"
     build_and_test address "${BUILD_DIR:-build-sanitize}"
     ;;
   tidy)
@@ -166,5 +197,9 @@ case "$MODE" in
   bench-smoke)
     plain_build
     bench_smoke "$BUILD_DIR"
+    ;;
+  scale)
+    plain_build
+    scale_smoke "$BUILD_DIR"
     ;;
 esac

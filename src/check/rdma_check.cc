@@ -30,6 +30,8 @@ const char* DiagKindName(DiagKind kind) {
       return "leaked-memory-region";
     case DiagKind::kLeakedArenaBlock:
       return "leaked-arena-block";
+    case DiagKind::kQpDestroyedInFlight:
+      return "qp-destroyed-in-flight";
   }
   return "?";
 }
@@ -194,6 +196,17 @@ void RdmaCheck::ReadPosted(int src_host, int target_host, uint32_t qp_num, uint6
                            int64_t now_ns) {
   CheckTarget("RDMA_READ", src_host, target_host, qp_num, wr_id, remote_addr, length, rkey,
               now_ns);
+}
+
+void RdmaCheck::QpDestroyed(int host, uint32_t qp_num, int64_t now_ns) {
+  for (const auto& [key, w] : inflight_) {
+    if (std::get<0>(key) != host || std::get<1>(key) != qp_num) continue;
+    Emit(DiagKind::kQpDestroyedInFlight,
+         StrCat("host", host, " qp", qp_num, " destroyed with wr", std::get<2>(key),
+                " in flight (", w.length, " bytes to host", w.dst_host, " addr=",
+                w.remote_addr, ")"),
+         host, w.dst_host, qp_num, std::get<2>(key), now_ns);
+  }
 }
 
 // -------------------------------------------------------------- fabric layer

@@ -53,6 +53,8 @@ enum class DiagKind {
   kPrematureFlagRead,    // Completion flag trusted before its byte landed.
   kLeakedMemoryRegion,   // MR still registered at Finalize().
   kLeakedArenaBlock,     // Arena destroyed with live carve-outs.
+  kQpDestroyedInFlight,  // QP destroyed (e.g. pool eviction) with a WR in
+                         // flight: its wire events would touch freed state.
 };
 
 const char* DiagKindName(DiagKind kind);
@@ -106,6 +108,10 @@ class RdmaCheck {
   // only; reads race with nothing in this model).
   void ReadPosted(int src_host, int target_host, uint32_t qp_num, uint64_t wr_id,
                   uint64_t remote_addr, uint64_t length, uint32_t rkey, int64_t now_ns);
+  // A QP was destroyed (pool eviction, device teardown). Destroying a QP
+  // whose write is still in flight is a protocol violation: the pending wire
+  // events reference the dead QP.
+  void QpDestroyed(int host, uint32_t qp_num, int64_t now_ns);
 
   // ---- fabric layer ----
   // Tracks ascending-address delivery per transfer (covers the TCP plane and
@@ -237,6 +243,9 @@ inline void OnReadPosted(int src_host, int target_host, uint32_t qp_num, uint64_
   if (RdmaCheck* c = RdmaCheck::Current()) {
     c->ReadPosted(src_host, target_host, qp_num, wr_id, remote_addr, length, rkey, now_ns);
   }
+}
+inline void OnQpDestroyed(int host, uint32_t qp_num, int64_t now_ns) {
+  if (RdmaCheck* c = RdmaCheck::Current()) c->QpDestroyed(host, qp_num, now_ns);
 }
 inline uint64_t OnTransferStarted(int src_host, int dst_host, uint64_t bytes, int64_t now_ns) {
   if (RdmaCheck* c = RdmaCheck::Current()) {

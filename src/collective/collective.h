@@ -50,6 +50,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/comm/transfer_engine.h"
@@ -188,6 +189,12 @@ class CollectiveGroup {
   // Address distribution over the device library's vanilla RPC (§3.1), run
   // lazily before the first collective.
   void ExchangeAddresses(std::function<void()> then);
+  // The (src, dst) rank pairs whose remote addresses the configured
+  // schedules can ever post a write over. Every schedule is ring- or
+  // star-shaped, so this is O(ranks) — exchanging (and connecting) all
+  // n*(n-1) pairs would put hosts^2 queue pairs on the fabric at cluster
+  // scale for no benefit.
+  std::vector<std::pair<int, int>> RequiredAddressPairs() const;
   void Finish(const std::shared_ptr<Op>& op);
   void Fail(const std::shared_ptr<Op>& op, const Status& status);
   void FinishUnit(const std::shared_ptr<Op>& op);

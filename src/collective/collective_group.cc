@@ -326,18 +326,34 @@ void CollectiveGroup::Begin(std::shared_ptr<Op> op, std::function<void()> start)
   }
 }
 
-void CollectiveGroup::ExchangeAddresses(std::function<void()> then) {
+std::vector<std::pair<int, int>> CollectiveGroup::RequiredAddressPairs() const {
   const int n = size();
-  pending_exchanges_ = n * (n - 1);
+  std::vector<std::pair<int, int>> pairs;
+  if (n <= 1) return pairs;
+  // Ring successors: the ring reduce-scatter/all-gather schedules and the
+  // chained broadcast (any root) only ever write rank -> (rank + 1) % n.
+  for (int r = 0; r < n; ++r) pairs.emplace_back(r, (r + 1) % n);
+  if (options_.algorithm == Algorithm::kNaiveGather) {
+    // Star to and from the gather root. (n-1, 0) is already a ring edge.
+    for (int r = 1; r < n; ++r) {
+      pairs.emplace_back(0, r);
+      if (r + 1 != n) pairs.emplace_back(r, 0);
+    }
+  }
+  return pairs;
+}
+
+void CollectiveGroup::ExchangeAddresses(std::function<void()> then) {
+  const std::vector<std::pair<int, int>> pairs = RequiredAddressPairs();
+  pending_exchanges_ = static_cast<int>(pairs.size());
   if (pending_exchanges_ == 0) {
     exchanged_ = true;
     then();
     return;
   }
   auto shared_then = std::make_shared<std::function<void()>>(std::move(then));
-  for (int r = 0; r < n; ++r) {
-    for (int q = 0; q < n; ++q) {
-      if (q == r) continue;
+  for (const auto& [r, q] : pairs) {
+    {
       Rank* self = ranks_[r].get();
       stats_.setup_rpcs++;
       self->device->Call(

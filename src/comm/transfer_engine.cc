@@ -27,6 +27,20 @@ int TransferEngine::LaneCount() const {
   return std::min(options_.stripe_lanes, device_lanes);
 }
 
+StatusOr<device::RdmaChannel*> TransferEngine::Channel(const Endpoint& remote, int lane) {
+  const uint64_t pool_gen = device_->qp_pool()->generation();
+  if (pool_gen != pool_generation_) {
+    channel_cache_.clear();
+    pool_generation_ = pool_gen;
+  }
+  const std::pair<Endpoint, int> key(remote, lane);
+  auto it = channel_cache_.find(key);
+  if (it != channel_cache_.end()) return it->second;
+  RDMADL_ASSIGN_OR_RETURN(device::RdmaChannel * channel, device_->GetChannel(remote, lane));
+  channel_cache_[key] = channel;
+  return channel;
+}
+
 void TransferEngine::FailAsync(device::MemcpyCallback on_done, Status status) {
   if (!on_done) return;
   device_->simulator()->ScheduleAfter(
@@ -77,8 +91,7 @@ TransferEngine::Route TransferEngine::PostDirect(const Endpoint& remote,
                                                  const WriteDesc& payload,
                                                  const WriteDesc& flag, int lane_hint,
                                                  device::MemcpyCallback on_done) {
-  auto channel_or =
-      device_->GetChannel(remote, lane_hint % std::max(1, device_->num_qps_per_peer()));
+  auto channel_or = Channel(remote, lane_hint % std::max(1, device_->num_qps_per_peer()));
   if (!channel_or.ok()) {
     FailAsync(std::move(on_done), channel_or.status());
     return Route::kDirect;
@@ -135,14 +148,14 @@ void TransferEngine::PostStriped(const Endpoint& remote, const WriteDesc& payloa
   std::vector<device::RdmaChannel*> channels;
   channels.reserve(num_stripes);
   for (int i = 0; i < num_stripes; ++i) {
-    auto channel_or = device_->GetChannel(remote, i % lanes);
+    auto channel_or = Channel(remote, i % lanes);
     if (!channel_or.ok()) {
       FailAsync(std::move(on_done), channel_or.status());
       return;
     }
     channels.push_back(*channel_or);
   }
-  auto flag_channel_or = device_->GetChannel(remote, lane_hint % lanes);
+  auto flag_channel_or = Channel(remote, lane_hint % lanes);
   if (!flag_channel_or.ok()) {
     FailAsync(std::move(on_done), flag_channel_or.status());
     return;
@@ -209,7 +222,7 @@ void TransferEngine::Flush(const Endpoint& remote, PeerQueue* queue) {
   std::vector<PendingWrite> items = std::move(queue->pending);
   queue->pending.clear();
 
-  auto channel_or = device_->GetChannel(remote, next_batch_lane_);
+  auto channel_or = Channel(remote, next_batch_lane_);
   next_batch_lane_ = (next_batch_lane_ + 1) % std::max(1, device_->num_qps_per_peer());
   if (!channel_or.ok()) {
     for (PendingWrite& item : items) FailAsync(std::move(item.on_done), channel_or.status());
@@ -273,6 +286,9 @@ void TransferEngine::ResetTransientState() {
     queue.pending.clear();
     queue.flush_scheduled = false;
   }
+  // Recovery may tear down or reconnect lanes out from under us; re-resolve
+  // every binding through the pool on the next write.
+  channel_cache_.clear();
 }
 
 void TransferEngine::BeginEpoch(int64_t epoch) { epoch_ = epoch; }

@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/device/rdma_device.h"
@@ -165,6 +166,13 @@ class TransferEngine {
     int64_t epoch = 0;
   };
 
+  // Resolves the channel for (remote, lane) via a cache guarded by the QP
+  // pool's generation: any eviction anywhere invalidates it, so a stale
+  // binding is never used after the pool reshuffled lanes. The first use per
+  // generation goes through RdmaDevice::GetChannel, which acquires (or
+  // reconnects) the pooled lane; cache hits skip the pool lookup and rely on
+  // the channel's own lazy reattach if its specific lane was since evicted.
+  StatusOr<device::RdmaChannel*> Channel(const Endpoint& remote, int lane);
   Route PostDirect(const Endpoint& remote, const WriteDesc& payload, const WriteDesc& flag,
                    int lane_hint, device::MemcpyCallback on_done);
   void PostStriped(const Endpoint& remote, const WriteDesc& payload, const WriteDesc& flag,
@@ -181,6 +189,9 @@ class TransferEngine {
   uint64_t generation_ = 0;
   // Round-robin lane for coalesced batches.
   int next_batch_lane_ = 0;
+  // Lane-binding cache; valid only while the pool generation matches.
+  std::map<std::pair<Endpoint, int>, device::RdmaChannel*> channel_cache_;
+  uint64_t pool_generation_ = 0;
 
   tensor::ExtentLruCache<CachedMr> mr_cache_;
   int64_t epoch_ = 0;

@@ -115,6 +115,15 @@ void RdmaChannel::Memcpy(uint64_t local_addr, const MemRegion& local_region,
 void RdmaChannel::Memcpy(void* local_addr, uint32_t lkey, uint64_t remote_addr, uint32_t rkey,
                          uint64_t size, Direction direction, MemcpyCallback callback,
                          bool copy_bytes) {
+  if (qp_ == nullptr) {
+    // Pool evicted this lane since the caller cached the channel; reconnect.
+    Status attached = device_->AttachLane(this);
+    if (!attached.ok()) {
+      device_->simulator()->ScheduleAfter(
+          0, [cb = std::move(callback), attached]() { cb(attached); });
+      return;
+    }
+  }
   rdma::SendWorkRequest wr;
   wr.copy_bytes = copy_bytes;
   wr.wr_id = device_->next_wr_id_++;
@@ -151,6 +160,17 @@ void RdmaChannel::Memcpy(void* local_addr, uint32_t lkey, uint64_t remote_addr, 
 
 void RdmaChannel::MemcpyBatch(std::vector<BatchWrite> writes) {
   if (writes.empty()) return;
+  if (qp_ == nullptr) {
+    Status attached = device_->AttachLane(this);
+    if (!attached.ok()) {
+      for (BatchWrite& w : writes) {
+        if (!w.callback) continue;
+        device_->simulator()->ScheduleAfter(
+            0, [cb = std::move(w.callback), attached]() { cb(attached); });
+      }
+      return;
+    }
+  }
   std::vector<rdma::SendWorkRequest> wrs;
   wrs.reserve(writes.size());
   std::vector<uint64_t> wr_ids;
@@ -211,6 +231,9 @@ RdmaDevice::~RdmaDevice() {
   for (const rdma::MemoryRegion& mr : rpc_slab_mrs_) {
     (void)nic_->DeregisterMemory(mr);
   }
+  // Returns every pooled lane touching this endpoint (peer devices are told
+  // to drop their bindings). RPC QPs stay with the NIC, as before.
+  directory_->qp_pool_.UnregisterEndpoint(local_);
   directory_->devices_.erase(local_);
 }
 
@@ -239,6 +262,14 @@ StatusOr<std::unique_ptr<RdmaDevice>> RdmaDevice::Create(DeviceDirectory* direct
     cq->SetCompletionHandler([raw, cq]() { raw->DrainCq(cq); });
     dev->cqs_.push_back(cq);
   }
+  {
+    RdmaDevice* raw = dev.get();
+    RDMADL_RETURN_IF_ERROR(directory->qp_pool()->RegisterEndpoint(
+        local, local.host_id, /*cqs=*/[raw]() { return raw->NextCq(); },
+        /*on_evict=*/[raw](const Endpoint& /*self*/, const Endpoint& remote, int lane) {
+          raw->OnLaneEvicted(remote, lane);
+        }));
+  }
   directory->devices_[local] = dev.get();
   return dev;
 }
@@ -265,38 +296,44 @@ rdma::CompletionQueue* RdmaDevice::NextCq() {
 Status RdmaDevice::Connect(RdmaDevice* remote) {
   PeerConnection& mine = peers_[remote->local_];
   PeerConnection& theirs = remote->peers_[local_];
-  CHECK(mine.qps.empty() && theirs.qps.empty());
+  CHECK(mine.channels.empty() && theirs.channels.empty());
   if (num_qps_per_peer_ != remote->num_qps_per_peer_) {
     return InvalidArgument("peer devices configured with different QP counts");
   }
-  for (int i = 0; i < num_qps_per_peer_; ++i) {
-    rdma::CompletionQueue* my_cq = NextCq();
-    rdma::CompletionQueue* their_cq = remote->NextCq();
-    rdma::QueuePair* a = nic_->CreateQueuePair(my_cq, my_cq);
-    rdma::QueuePair* b = remote->nic_->CreateQueuePair(their_cq, their_cq);
-    RDMADL_RETURN_IF_ERROR(a->Connect(b));
-    mine.qps.push_back(a);
-    theirs.qps.push_back(b);
-    mine.channels.push_back(
-        std::unique_ptr<RdmaChannel>(new RdmaChannel(this, remote->local_, i, a)));
-    theirs.channels.push_back(
-        std::unique_ptr<RdmaChannel>(new RdmaChannel(remote, local_, i, b)));
+  // Data lanes come from the shared pool on first use; only the dedicated
+  // two-sided QP for the address-distribution RPC is created eagerly (it has
+  // to exist before any one-sided traffic can be set up). It is unpooled but
+  // still counts against the NIC's QP cap, so make room first.
+  rdma::QpPool* pool = directory_->qp_pool();
+  const bool colocated = local_.host_id == remote->local_.host_id;
+  RDMADL_RETURN_IF_ERROR(pool->ReserveCapacity(local_.host_id, colocated ? 2 : 1));
+  if (!colocated) {
+    RDMADL_RETURN_IF_ERROR(pool->ReserveCapacity(remote->local_.host_id, 1));
   }
-  // Dedicated two-sided QP for the address-distribution RPC.
-  {
-    rdma::CompletionQueue* my_cq = NextCq();
-    rdma::CompletionQueue* their_cq = remote->NextCq();
-    rdma::QueuePair* a = nic_->CreateQueuePair(my_cq, my_cq);
-    rdma::QueuePair* b = remote->nic_->CreateQueuePair(their_cq, their_cq);
-    RDMADL_RETURN_IF_ERROR(a->Connect(b));
-    mine.rpc_qp = a;
-    theirs.rpc_qp = b;
-    rpc_qps_[a->qp_num()] = a;
-    remote->rpc_qps_[b->qp_num()] = b;
-    for (int i = 0; i < kRpcRecvDepth; ++i) {
-      PostRpcRecv(a, AcquireRpcSlot());
-      remote->PostRpcRecv(b, remote->AcquireRpcSlot());
-    }
+  rdma::CompletionQueue* my_cq = NextCq();
+  rdma::CompletionQueue* their_cq = remote->NextCq();
+  RDMADL_ASSIGN_OR_RETURN(rdma::QueuePair * a, nic_->TryCreateQueuePair(my_cq, my_cq));
+  StatusOr<rdma::QueuePair*> b = remote->nic_->TryCreateQueuePair(their_cq, their_cq);
+  if (!b.ok()) {
+    (void)nic_->DestroyQueuePair(a);
+    return b.status();
+  }
+  RDMADL_RETURN_IF_ERROR(a->Connect(*b));
+  mine.rpc_qp = a;
+  theirs.rpc_qp = *b;
+  rpc_qps_[a->qp_num()] = a;
+  remote->rpc_qps_[(*b)->qp_num()] = *b;
+  for (int i = 0; i < kRpcRecvDepth; ++i) {
+    PostRpcRecv(a, AcquireRpcSlot());
+    remote->PostRpcRecv(*b, remote->AcquireRpcSlot());
+  }
+  // Channel wrappers exist for the connection's lifetime; their QP bindings
+  // attach lazily (AttachLane) and drop on pool eviction.
+  for (int i = 0; i < num_qps_per_peer_; ++i) {
+    mine.channels.push_back(
+        std::unique_ptr<RdmaChannel>(new RdmaChannel(this, remote->local_, i, nullptr)));
+    theirs.channels.push_back(
+        std::unique_ptr<RdmaChannel>(new RdmaChannel(remote, local_, i, nullptr)));
   }
   return OkStatus();
 }
@@ -317,7 +354,25 @@ StatusOr<RdmaChannel*> RdmaDevice::GetChannel(const Endpoint& remote, int qp_idx
     RDMADL_RETURN_IF_ERROR(Connect(peer));
     it = peers_.find(remote);
   }
-  return it->second.channels[qp_idx].get();
+  RdmaChannel* channel = it->second.channels[qp_idx].get();
+  RDMADL_RETURN_IF_ERROR(AttachLane(channel));
+  return channel;
+}
+
+Status RdmaDevice::AttachLane(RdmaChannel* channel) {
+  RDMADL_ASSIGN_OR_RETURN(
+      rdma::QueuePair * qp,
+      directory_->qp_pool()->Acquire(local_, channel->remote_, channel->qp_index_));
+  channel->qp_ = qp;
+  return OkStatus();
+}
+
+void RdmaDevice::OnLaneEvicted(const Endpoint& remote, int lane) {
+  auto it = peers_.find(remote);
+  if (it == peers_.end()) return;
+  if (lane < static_cast<int>(it->second.channels.size())) {
+    it->second.channels[lane]->qp_ = nullptr;
+  }
 }
 
 void RdmaDevice::DrainCq(rdma::CompletionQueue* cq) {
@@ -379,8 +434,9 @@ void RdmaDevice::DrainCq(rdma::CompletionQueue* cq) {
 
 Status RdmaDevice::RecoverChannels() {
   for (auto& [endpoint, peer] : peers_) {
-    for (rdma::QueuePair* qp : peer.qps) {
-      if (qp->in_error()) RDMADL_RETURN_IF_ERROR(qp->Recover());
+    for (const std::unique_ptr<RdmaChannel>& channel : peer.channels) {
+      rdma::QueuePair* qp = channel->qp_;
+      if (qp != nullptr && qp->in_error()) RDMADL_RETURN_IF_ERROR(qp->Recover());
     }
     if (peer.rpc_qp == nullptr) continue;
     if (peer.rpc_qp->in_error()) {

@@ -26,6 +26,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/rdma/qp_pool.h"
 #include "src/rdma/verbs.h"
 #include "src/util/endpoint.h"
 #include "src/util/status.h"
@@ -140,17 +141,24 @@ using RpcHandler = std::function<std::vector<uint8_t>(const std::vector<uint8_t>
 using RpcCallback = std::function<void(const Status&, const std::vector<uint8_t>&)>;
 
 // Directory of devices in the simulated cluster; stands in for out-of-band
-// connection management (RDMA CM exchange over Ethernet).
+// connection management (RDMA CM exchange over Ethernet). Also owns the
+// cluster-wide QP pool: data lanes between any two devices are shared,
+// on-demand, and LRU-evicted when a NIC hits cost.max_queue_pairs, so total
+// QP count stays sublinear in hosts² instead of every peer pair paying
+// num_qps_per_peer contexts up front.
 class DeviceDirectory {
  public:
-  explicit DeviceDirectory(rdma::RdmaFabric* rdma_fabric) : rdma_fabric_(rdma_fabric) {}
+  explicit DeviceDirectory(rdma::RdmaFabric* rdma_fabric)
+      : rdma_fabric_(rdma_fabric), qp_pool_(rdma_fabric) {}
 
   rdma::RdmaFabric* rdma_fabric() const { return rdma_fabric_; }
+  rdma::QpPool* qp_pool() { return &qp_pool_; }
   RdmaDevice* Find(const Endpoint& ep) const;
 
  private:
   friend class RdmaDevice;
   rdma::RdmaFabric* rdma_fabric_;
+  rdma::QpPool qp_pool_;
   std::unordered_map<Endpoint, RdmaDevice*, EndpointHash> devices_;
 };
 
@@ -206,6 +214,7 @@ class RdmaDevice {
   int64_t memcpy_timeout_ns() const { return memcpy_timeout_ns_; }
 
   const Endpoint& endpoint() const { return local_; }
+  rdma::QpPool* qp_pool() const { return directory_->qp_pool(); }
   rdma::NicDevice* nic() const { return nic_; }
   sim::Simulator* simulator() const { return nic_->simulator(); }
   const net::CostModel& cost() const { return nic_->cost(); }
@@ -216,8 +225,11 @@ class RdmaDevice {
   friend class RdmaChannel;
   friend struct MemRegion::Impl;
 
+  // Data QPs are not owned here: channels bind lazily to pooled lanes
+  // (DeviceDirectory::qp_pool) and drop the binding when the pool evicts
+  // them. Channel wrappers themselves live for the device's lifetime, so
+  // callers may cache RdmaChannel* across evictions.
   struct PeerConnection {
-    std::vector<rdma::QueuePair*> qps;          // Data QPs (one-sided verbs).
     std::vector<std::unique_ptr<RdmaChannel>> channels;
     rdma::QueuePair* rpc_qp = nullptr;          // Dedicated two-sided RPC QP.
   };
@@ -228,8 +240,15 @@ class RdmaDevice {
 
   RdmaDevice(DeviceDirectory* directory, int num_qps_per_peer, const Endpoint& local);
 
-  // Establishes QPs in both directions between this device and |remote|.
+  // Establishes the RPC QP pair and lazy channel wrappers between this
+  // device and |remote|; data lanes attach from the pool on first use.
   Status Connect(RdmaDevice* remote);
+  // Binds |channel| to its pooled lane (creating or reconnecting it on
+  // demand); a pool hit only touches the LRU clock.
+  Status AttachLane(RdmaChannel* channel);
+  // Pool eviction callback: drop the cached QP binding so the next use
+  // reattaches.
+  void OnLaneEvicted(const Endpoint& remote, int lane);
   // Picks the next CQ round-robin for a newly created QP (Figure 4).
   rdma::CompletionQueue* NextCq();
   // Drains one CQ, dispatching Memcpy callbacks and RPC messages.

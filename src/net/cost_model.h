@@ -52,6 +52,12 @@ struct CostModel {
   // Hardware limit on simultaneously registered regions (models the
   // "unexpected errors due to hardware resource limit" of §3.4).
   int max_memory_regions = 2048;
+  // Hardware limit on live queue pairs per NIC. Real NICs degrade sharply
+  // once the QP context cache misses (RDMAvisor's motivating observation);
+  // here it is a hard cap so the QP pool's evict-and-reconnect machinery is
+  // actually exercised at scale. Sized so a 256-host parameter-server job
+  // fits (2 RPC QPs per peer edge plus the pooled data lanes).
+  int max_queue_pairs = 2048;
 
   // ----------------------------------------------------------------- TCP/IP
   // Effective gRPC-over-TCP goodput for large tensors (IPoIB-era TF 1.x

@@ -4,26 +4,29 @@
 #include <utility>
 
 #include "src/check/rdma_check.h"
+#include "src/net/topology.h"
 #include "src/sim/trace.h"
 #include "src/util/strings.h"
 
 namespace rdmadl {
 namespace net {
 
-namespace {
+namespace internal {
 
 // Shared state for one bulk transfer's per-segment delivery events. Plain
-// heap block, not a shared_ptr: each event closure captures only
-// {Progress*, segment index} — 16 trivially-copyable bytes, which fits
-// std::function's inline buffer — so scheduling a segment allocates nothing.
-// The last event to fire deletes the block.
-struct Progress {
+// pointer, not a shared_ptr: each event closure captures only
+// {TransferProgress*, segment index} — 16 trivially-copyable bytes, which
+// fits std::function's inline buffer — so scheduling a segment allocates
+// nothing. Blocks are owned and recycled by the Fabric (its progress
+// freelist); the last event to fire hands the block back.
+struct TransferProgress {
   struct Segment {
     uint64_t offset = 0;
     uint64_t length = 0;  // 0 for dropped or zero-payload segments.
     int64_t deliver_at = 0;
     bool dropped = false;
   };
+  Fabric* fabric = nullptr;
   uint64_t delivered = 0;
   uint64_t total_bytes = 0;
   uint64_t check_id = 0;
@@ -33,10 +36,25 @@ struct Progress {
   std::vector<Segment> segments;
   std::function<void(uint64_t, uint64_t)> on_chunk;
   std::function<void(Status)> on_complete;
+
+  // Clears per-transfer state for reuse; keeps segment-vector capacity.
+  void Reset() {
+    delivered = 0;
+    total_bytes = 0;
+    check_id = 0;
+    src = 0;
+    dst = 0;
+    fired = 0;
+    segments.clear();
+    on_chunk = nullptr;
+    on_complete = nullptr;
+  }
+
+  void Deliver(uint32_t index);
 };
 
-void DeliverSegment(Progress* progress, uint32_t index) {
-  const Progress::Segment& seg = progress->segments[index];
+void TransferProgress::Deliver(uint32_t index) {
+  const Segment& seg = segments[index];
   if (seg.dropped) {
     // A lost segment truncates the transfer: the in-order transport delivers
     // nothing past the gap, so earlier segments land normally and the
@@ -44,32 +62,32 @@ void DeliverSegment(Progress* progress, uint32_t index) {
     // sender's retransmission timer would notice) carries the failure. A
     // retry rewrites from offset 0, preserving the ascending-prefix invariant
     // receivers rely on.
-    check::OnTransferFinished(progress->check_id);
-    if (progress->on_complete) {
-      auto complete = std::move(progress->on_complete);
-      progress->on_complete = nullptr;
-      complete(Unavailable(StrCat("segment lost on host", progress->src, "->host",
-                                  progress->dst, " at offset ", seg.offset)));
+    check::OnTransferFinished(check_id);
+    if (on_complete) {
+      auto complete = std::move(on_complete);
+      on_complete = nullptr;
+      complete(Unavailable(
+          StrCat("segment lost on host", src, "->host", dst, " at offset ", seg.offset)));
     }
   } else {
     if (seg.length > 0) {
-      check::OnTransferSegment(progress->check_id, seg.offset, seg.length, seg.deliver_at);
-      if (progress->on_chunk) progress->on_chunk(seg.offset, seg.length);
+      check::OnTransferSegment(check_id, seg.offset, seg.length, seg.deliver_at);
+      if (on_chunk) on_chunk(seg.offset, seg.length);
     }
-    progress->delivered += seg.length;
-    if (progress->delivered >= progress->total_bytes) {
-      check::OnTransferFinished(progress->check_id);
-      if (progress->on_complete) {
-        auto complete = std::move(progress->on_complete);
-        progress->on_complete = nullptr;
+    delivered += seg.length;
+    if (delivered >= total_bytes) {
+      check::OnTransferFinished(check_id);
+      if (on_complete) {
+        auto complete = std::move(on_complete);
+        on_complete = nullptr;
         complete(OkStatus());
       }
     }
   }
-  if (++progress->fired == progress->segments.size()) delete progress;
+  if (++fired == segments.size()) fabric->RecycleProgress(this);
 }
 
-}  // namespace
+}  // namespace internal
 
 Host::Host(int id, sim::Simulator* simulator, const CostModel* cost)
     : id_(id),
@@ -81,12 +99,37 @@ Host::Host(int id, sim::Simulator* simulator, const CostModel* cost)
       pcie_(StrCat("host", id, ".pcie")) {}
 
 Fabric::Fabric(sim::Simulator* simulator, const CostModel& cost, int num_hosts)
+    : Fabric(simulator, cost, num_hosts, TopologyConfig()) {}
+
+Fabric::Fabric(sim::Simulator* simulator, const CostModel& cost, int num_hosts,
+               const TopologyConfig& topology)
     : simulator_(simulator), cost_(cost) {
   CHECK_GT(num_hosts, 0);
+  if (topology.hierarchical()) {
+    topology_ = std::make_unique<Topology>(topology, num_hosts);
+  }
   hosts_.reserve(num_hosts);
   for (int i = 0; i < num_hosts; ++i) {
     hosts_.push_back(std::make_unique<Host>(i, simulator, &cost_));
   }
+}
+
+Fabric::~Fabric() = default;
+
+internal::TransferProgress* Fabric::AcquireProgress() {
+  if (progress_free_.empty()) {
+    progress_pool_.push_back(std::make_unique<internal::TransferProgress>());
+    progress_pool_.back()->fabric = this;
+    return progress_pool_.back().get();
+  }
+  internal::TransferProgress* progress = progress_free_.back();
+  progress_free_.pop_back();
+  return progress;
+}
+
+void Fabric::RecycleProgress(internal::TransferProgress* progress) {
+  progress->Reset();
+  progress_free_.push_back(progress);
 }
 
 void Fabric::SetFaultInjector(sim::FaultInjector* injector) {
@@ -124,6 +167,19 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
   } else {
     bandwidth = cost_.tcp_bandwidth_bytes_per_sec;
     latency = cost_.tcp_one_way_latency_ns;
+  }
+
+  // With a hierarchical topology, inter-rack transfers cross extra switches
+  // (latency) and contend for the shared rack-uplink/spine/rack-downlink
+  // serialization points (reserved per chunk below). Intra-rack and loopback
+  // traffic, and every transfer on a flat fabric, take the original path.
+  Topology::Hop hops[3];
+  int num_hops = 0;
+  double shared_bandwidth = bandwidth;
+  if (topology_ != nullptr && !loopback) {
+    latency += topology_->ExtraLatencyNs(src, dst);
+    num_hops = topology_->PathHops(src, dst, hops);
+    shared_bandwidth = bandwidth * topology_->shared_bandwidth_scale();
   }
 
   TransferStats& stats = (plane == Plane::kRdma) ? rdma_stats_ : tcp_stats_;
@@ -213,7 +269,7 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
 
   const uint64_t total = std::max<uint64_t>(bytes, 1);
 
-  auto* progress = new Progress();
+  internal::TransferProgress* progress = AcquireProgress();
   progress->total_bytes = bytes;
   progress->check_id = check_id;
   progress->src = src;
@@ -229,20 +285,34 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
     const int64_t wire_ns =
         std::max<int64_t>(1, static_cast<int64_t>(static_cast<double>(len) / bandwidth * 1e9));
     int64_t egress_done;
+    int64_t path_done;
     if (loopback) {
       egress_done = src_host->loopback().Reserve(cursor, wire_ns);
+      path_done = egress_done;
     } else {
       egress_done = src_host->egress().Reserve(cursor, wire_ns);
-      // Ingress occupancy mirrors egress; with a full-bisection fabric the
-      // receiving port is busy for the same duration.
-      dst_host->ingress().Reserve(egress_done - wire_ns + latency, wire_ns);
+      path_done = egress_done;
+      if (num_hops > 0) {
+        // Each chunk crosses the shared rack-uplink, spine, and rack-downlink
+        // serialization points after leaving the host port; an oversubscribed
+        // link stretches the chunk's wire time by the bandwidth ratio, and
+        // queuing on any hop delays everything downstream of it.
+        const int64_t hop_wire_ns = std::max<int64_t>(
+            1, static_cast<int64_t>(static_cast<double>(len) / shared_bandwidth * 1e9));
+        for (int h = 0; h < num_hops; ++h) {
+          path_done = hops[h].link->Reserve(path_done, hop_wire_ns);
+        }
+      }
+      // Ingress occupancy mirrors the sending port: the receiving port is
+      // busy for the chunk's own wire time, ending at delivery.
+      dst_host->ingress().Reserve(path_done - wire_ns + latency, wire_ns);
     }
     cursor = egress_done;
 
-    Progress::Segment seg;
+    internal::TransferProgress::Segment seg;
     seg.offset = offset;
     seg.length = (bytes == 0) ? 0 : len;
-    seg.deliver_at = egress_done + latency;
+    seg.deliver_at = path_done + latency;
     seg.dropped = fault_ != nullptr && fault_->ShouldDropSegment(src, dst);
     if (seg.dropped) {
       seg.length = 0;
@@ -259,7 +329,7 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
 
   for (uint32_t i = 0; i < progress->segments.size(); ++i) {
     simulator_->ScheduleAt(progress->segments[i].deliver_at,
-                           [progress, i]() { DeliverSegment(progress, i); });
+                           [progress, i]() { progress->Deliver(i); });
   }
 }
 

@@ -140,19 +140,22 @@ Status QueuePair::Recover() {
 void QueuePair::MaybeStartNext() {
   if (engine_busy_ || state_ == QpState::kError || send_queue_.empty()) return;
   engine_busy_ = true;
-  Batch batch = std::move(send_queue_.front());
+  current_ = std::move(send_queue_.front());
   send_queue_.pop_front();
   // Posting overhead (doorbell + WQE fetch) before the engine acts — charged
-  // once per doorbell, whether it rings one WQE or a chained list.
-  if (batch.size() == 1) {
-    SendWorkRequest wr = batch.front();
-    nic_->simulator()->ScheduleAfter(nic_->cost().rdma_post_overhead_ns,
-                                     [this, wr]() { Execute(wr); });
-    return;
-  }
-  auto shared = std::make_shared<Batch>(std::move(batch));
+  // once per doorbell, whether it rings one WQE or a chained list. current_
+  // stays put until the completion releases the engine, so the closure needs
+  // only `this`.
   nic_->simulator()->ScheduleAfter(nic_->cost().rdma_post_overhead_ns,
-                                   [this, shared]() { ExecuteBatch(shared); });
+                                   [this]() { ExecuteCurrent(); });
+}
+
+void QueuePair::ExecuteCurrent() {
+  if (current_.size() == 1) {
+    Execute(current_.front());
+  } else {
+    ExecuteBatch();
+  }
 }
 
 int64_t QueuePair::EngineDelayNs(uint64_t bytes) const {
@@ -196,20 +199,22 @@ void QueuePair::ExecuteWrite(const SendWorkRequest& wr) {
   }
   ++nic_->stats_.writes;
   nic_->stats_.write_bytes += wr.length;
-  const uint8_t* src = reinterpret_cast<const uint8_t*>(wr.local_addr);
-  uint8_t* dst = reinterpret_cast<uint8_t*>(wr.remote_addr);
   nic_->fabric()->Transfer(
       nic_->host_id(), target_nic->host_id(), wr.length, net::Plane::kRdma,
       nic_->cost().rdma_nic_processing_ns + EngineDelayNs(wr.length),
       // Segments land in ascending address order; each is copied for real so
       // a flag-byte poller on the target sees partial tensors faithfully.
-      [this, src, dst, copy = wr.copy_bytes, wr_id = wr.wr_id](uint64_t offset,
-                                                               uint64_t length) {
-        check::OnWriteSegment(nic_->host_id(), qp_num_, wr_id, offset, length,
+      // The WR is read back out of current_ (valid for the wire's lifetime).
+      [this](uint64_t offset, uint64_t length) {
+        const SendWorkRequest& cur = current_.front();
+        check::OnWriteSegment(nic_->host_id(), qp_num_, cur.wr_id, offset, length,
                               nic_->simulator()->Now());
-        if (copy) std::memcpy(dst + offset, src + offset, length);
+        if (cur.copy_bytes) {
+          std::memcpy(reinterpret_cast<uint8_t*>(cur.remote_addr) + offset,
+                      reinterpret_cast<const uint8_t*>(cur.local_addr) + offset, length);
+        }
       },
-      [this, wr](Status status) { CompleteWire(wr, status, nullptr); });
+      [this](Status status) { CompleteWire(status, /*deliver_inbound=*/false); });
 }
 
 void QueuePair::ExecuteRead(const SendWorkRequest& wr) {
@@ -225,8 +230,6 @@ void QueuePair::ExecuteRead(const SendWorkRequest& wr) {
   }
   ++nic_->stats_.reads;
   nic_->stats_.read_bytes += wr.length;
-  const uint8_t* src = reinterpret_cast<const uint8_t*>(wr.remote_addr);
-  uint8_t* dst = reinterpret_cast<uint8_t*>(wr.local_addr);
   // The read request first travels to the target (one-way latency + remote
   // NIC processing), then the data streams back.
   const int64_t request_trip =
@@ -234,28 +237,28 @@ void QueuePair::ExecuteRead(const SendWorkRequest& wr) {
       nic_->cost().rdma_nic_processing_ns + EngineDelayNs(wr.length);
   nic_->fabric()->Transfer(
       target_nic->host_id(), nic_->host_id(), wr.length, net::Plane::kRdma, request_trip,
-      [src, dst, copy = wr.copy_bytes](uint64_t offset, uint64_t length) {
-        if (copy) std::memcpy(dst + offset, src + offset, length);
+      [this](uint64_t offset, uint64_t length) {
+        const SendWorkRequest& cur = current_.front();
+        if (cur.copy_bytes) {
+          std::memcpy(reinterpret_cast<uint8_t*>(cur.local_addr) + offset,
+                      reinterpret_cast<const uint8_t*>(cur.remote_addr) + offset, length);
+        }
       },
-      [this, wr](Status status) { CompleteWire(wr, status, nullptr); });
+      [this](Status status) { CompleteWire(status, /*deliver_inbound=*/false); });
 }
 
 void QueuePair::ExecuteSend(const SendWorkRequest& wr) {
   ++nic_->stats_.sends;
   nic_->stats_.send_bytes += wr.length;
-  const uint8_t* src = reinterpret_cast<const uint8_t*>(wr.local_addr);
-  QueuePair* peer = peer_;
-  nic_->fabric()->Transfer(nic_->host_id(), peer->nic_->host_id(), wr.length, net::Plane::kRdma,
+  nic_->fabric()->Transfer(nic_->host_id(), peer_->nic_->host_id(), wr.length, net::Plane::kRdma,
                            nic_->cost().rdma_nic_processing_ns, nullptr,
-                           [this, peer, src, wr](Status status) {
-                             CompleteWire(wr, status, [peer, src, wr]() {
-                               peer->DeliverInbound(src, wr.length, wr.copy_bytes);
-                             });
+                           [this](Status status) {
+                             CompleteWire(status, /*deliver_inbound=*/true);
                            });
 }
 
-void QueuePair::CompleteWire(const SendWorkRequest& wr, const Status& status,
-                             const std::function<void()>& on_success) {
+void QueuePair::CompleteWire(const Status& status, bool deliver_inbound) {
+  const SendWorkRequest& wr = current_.front();
   if (status.ok()) {
     retry_attempts_ = 0;
     if (wr.opcode == Opcode::kWrite) {
@@ -263,7 +266,10 @@ void QueuePair::CompleteWire(const SendWorkRequest& wr, const Status& status,
       // all landed, anything posted from here on is ordered behind it.
       check::OnWriteFinished(nic_->host_id(), qp_num_, wr.wr_id, nic_->simulator()->Now());
     }
-    if (on_success) on_success();
+    if (deliver_inbound && peer_ != nullptr) {
+      peer_->DeliverInbound(reinterpret_cast<const uint8_t*>(wr.local_addr), wr.length,
+                            wr.copy_bytes);
+    }
     FinishCurrent(wr, OkStatus(), wr.length);
     return;
   }
@@ -277,7 +283,7 @@ void QueuePair::CompleteWire(const SendWorkRequest& wr, const Status& status,
                       StrCat("retransmit qp", qp_num_, " wr", wr.wr_id, " attempt ",
                              retry_attempts_),
                       nic_->simulator()->Now());
-    nic_->simulator()->ScheduleAfter(backoff, [this, wr]() { Execute(wr); });
+    nic_->simulator()->ScheduleAfter(backoff, [this]() { Execute(current_.front()); });
     return;
   }
   // Retry budget exhausted: the QP moves to the error state. The failing WR
@@ -298,16 +304,18 @@ void QueuePair::CompleteWire(const SendWorkRequest& wr, const Status& status,
 }
 
 void QueuePair::FinishCurrent(const SendWorkRequest& wr, Status status, uint64_t bytes) {
-  WorkCompletion wc;
-  wc.wr_id = wr.wr_id;
-  wc.opcode = wr.opcode;
-  wc.status = std::move(status);
-  wc.byte_len = bytes;
-  wc.qp_num = qp_num_;
-  // CQE generation + poller pickup overhead, then release the engine.
-  nic_->simulator()->ScheduleAfter(nic_->cost().cq_poll_overhead_ns, [this, wc]() {
+  pending_wc_.wr_id = wr.wr_id;
+  pending_wc_.opcode = wr.opcode;
+  pending_wc_.status = std::move(status);
+  pending_wc_.byte_len = bytes;
+  pending_wc_.qp_num = qp_num_;
+  // CQE generation + poller pickup overhead, then release the engine. The
+  // completion is staged in pending_wc_ (one per QP suffices: the engine
+  // serializes, and flush completions for posts-while-errored use their own
+  // captured copies) so the closure fits the inline buffer.
+  nic_->simulator()->ScheduleAfter(nic_->cost().cq_poll_overhead_ns, [this]() {
     engine_busy_ = false;
-    send_cq_->Push(wc);
+    send_cq_->Push(pending_wc_);
     if (state_ == QpState::kError) {
       FlushQueues();
       return;
@@ -316,26 +324,25 @@ void QueuePair::FinishCurrent(const SendWorkRequest& wr, Status status, uint64_t
   });
 }
 
-void QueuePair::ExecuteBatch(const std::shared_ptr<Batch>& batch) {
+void QueuePair::ExecuteBatch() {
   NicDevice* target_nic = peer_->nic_;
   const int64_t now = nic_->simulator()->Now();
-  for (const SendWorkRequest& wr : *batch) {
+  for (const SendWorkRequest& wr : current_) {
     check::OnWritePosted(nic_->host_id(), target_nic->host_id(), qp_num_, wr.wr_id,
                          wr.remote_addr, wr.length, wr.rkey, now);
   }
   // A chained WQE list shares fate: validate every target before any byte
   // moves, and fail the whole batch on the first violation.
   uint64_t total = 0;
-  for (const SendWorkRequest& wr : *batch) {
+  for (const SendWorkRequest& wr : current_) {
     const MemoryRegion* target =
         target_nic->FindRemoteRegion(wr.rkey, wr.remote_addr, wr.length);
     if (target == nullptr) {
       ++target_nic->stats_.rkey_violations;
-      for (const SendWorkRequest& w : *batch) {
+      for (const SendWorkRequest& w : current_) {
         check::OnWriteFinished(nic_->host_id(), qp_num_, w.wr_id, now);
       }
-      FinishBatch(batch,
-                  Status(StatusCode::kInvalidArgument,
+      FinishBatch(Status(StatusCode::kInvalidArgument,
                          StrCat("remote access violation in WR batch: rkey=", wr.rkey,
                                 " addr=", wr.remote_addr, " len=", wr.length)),
                   /*ok=*/false);
@@ -343,25 +350,24 @@ void QueuePair::ExecuteBatch(const std::shared_ptr<Batch>& batch) {
     }
     total += wr.length;
   }
-  nic_->stats_.writes += batch->size();
+  nic_->stats_.writes += current_.size();
   nic_->stats_.write_bytes += total;
   ++nic_->stats_.doorbell_batches;
   // One wire stream carries the concatenated payloads in posting order;
-  // segments are scattered back to the sub-WRs by a cursor walk. Fabric
-  // delivery is ascending in stream offset, so each sub-WR still receives its
-  // bytes in ascending address order (the §3.2 guarantee, per WR).
-  struct Cursor {
-    size_t idx = 0;      // First WR not yet fully delivered.
-    uint64_t base = 0;   // Stream offset where that WR starts.
-  };
-  auto cursor = std::make_shared<Cursor>();
+  // segments are scattered back to the sub-WRs by a cursor walk (member
+  // fields, reset here so a transport retransmission restarts the scatter).
+  // Fabric delivery is ascending in stream offset, so each sub-WR still
+  // receives its bytes in ascending address order (the §3.2 guarantee,
+  // per WR).
+  batch_cursor_idx_ = 0;
+  batch_cursor_base_ = 0;
   nic_->fabric()->Transfer(
       nic_->host_id(), target_nic->host_id(), total, net::Plane::kRdma,
       nic_->cost().rdma_nic_processing_ns + EngineDelayNs(total),
-      [this, batch, cursor](uint64_t offset, uint64_t length) {
+      [this](uint64_t offset, uint64_t length) {
         while (length > 0) {
-          const SendWorkRequest& wr = (*batch)[cursor->idx];
-          const uint64_t rel = offset - cursor->base;
+          const SendWorkRequest& wr = current_[batch_cursor_idx_];
+          const uint64_t rel = offset - batch_cursor_base_;
           const uint64_t take = std::min<uint64_t>(length, wr.length - rel);
           check::OnWriteSegment(nic_->host_id(), qp_num_, wr.wr_id, rel, take,
                                 nic_->simulator()->Now());
@@ -372,22 +378,22 @@ void QueuePair::ExecuteBatch(const std::shared_ptr<Batch>& batch) {
           offset += take;
           length -= take;
           if (rel + take == wr.length) {
-            cursor->base += wr.length;
-            ++cursor->idx;
+            batch_cursor_base_ += wr.length;
+            ++batch_cursor_idx_;
           }
         }
       },
-      [this, batch](Status status) { CompleteBatchWire(batch, status); });
+      [this](Status status) { CompleteBatchWire(status); });
 }
 
-void QueuePair::CompleteBatchWire(const std::shared_ptr<Batch>& batch, const Status& status) {
+void QueuePair::CompleteBatchWire(const Status& status) {
   if (status.ok()) {
     retry_attempts_ = 0;
     const int64_t now = nic_->simulator()->Now();
-    for (const SendWorkRequest& wr : *batch) {
+    for (const SendWorkRequest& wr : current_) {
       check::OnWriteFinished(nic_->host_id(), qp_num_, wr.wr_id, now);
     }
-    FinishBatch(batch, OkStatus(), /*ok=*/true);
+    FinishBatch(OkStatus(), /*ok=*/true);
     return;
   }
   // The RC transport retransmits the whole chain with exponential backoff,
@@ -397,14 +403,14 @@ void QueuePair::CompleteBatchWire(const std::shared_ptr<Batch>& batch, const Sta
     ++retry_attempts_;
     ++nic_->stats_.retransmissions;
     sim::TraceInstant(StrCat("host", nic_->host_id(), ".nic"),
-                      StrCat("retransmit qp", qp_num_, " batch of ", batch->size(),
+                      StrCat("retransmit qp", qp_num_, " batch of ", current_.size(),
                              " attempt ", retry_attempts_),
                       nic_->simulator()->Now());
-    nic_->simulator()->ScheduleAfter(backoff, [this, batch]() { ExecuteBatch(batch); });
+    nic_->simulator()->ScheduleAfter(backoff, [this]() { ExecuteBatch(); });
     return;
   }
   const int64_t now = nic_->simulator()->Now();
-  for (const SendWorkRequest& wr : *batch) {
+  for (const SendWorkRequest& wr : current_) {
     check::OnWriteFinished(nic_->host_id(), qp_num_, wr.wr_id, now);
   }
   retry_attempts_ = 0;
@@ -416,30 +422,34 @@ void QueuePair::CompleteBatchWire(const std::shared_ptr<Batch>& batch, const Sta
   sim::TraceInstant(StrCat("host", nic_->host_id(), ".nic"),
                     StrCat("qp", qp_num_, " -> ERROR: ", status.message()),
                     nic_->simulator()->Now());
-  FinishBatch(batch, error_cause_, /*ok=*/false);
+  FinishBatch(error_cause_, /*ok=*/false);
 }
 
-void QueuePair::FinishBatch(const std::shared_ptr<Batch>& batch, Status status, bool ok) {
+void QueuePair::FinishBatch(Status status, bool ok) {
+  pending_status_ = std::move(status);
+  pending_ok_ = ok;
   // The chain's CQEs are generated together and picked up by one poller pass:
   // one cq_poll overhead for the batch, then per-WR completions in FIFO order.
-  nic_->simulator()->ScheduleAfter(
-      nic_->cost().cq_poll_overhead_ns, [this, batch, status = std::move(status), ok]() {
-        engine_busy_ = false;
-        for (const SendWorkRequest& wr : *batch) {
-          WorkCompletion wc;
-          wc.wr_id = wr.wr_id;
-          wc.opcode = wr.opcode;
-          wc.status = status;
-          wc.byte_len = ok ? wr.length : 0;
-          wc.qp_num = qp_num_;
-          send_cq_->Push(wc);
-        }
-        if (state_ == QpState::kError) {
-          FlushQueues();
-          return;
-        }
-        MaybeStartNext();
-      });
+  nic_->simulator()->ScheduleAfter(nic_->cost().cq_poll_overhead_ns, [this]() {
+    engine_busy_ = false;
+    // Move the chain out first: a CQ handler may post new work from inside
+    // Push, which would overwrite current_ mid-iteration.
+    Batch batch = std::move(current_);
+    for (const SendWorkRequest& wr : batch) {
+      WorkCompletion wc;
+      wc.wr_id = wr.wr_id;
+      wc.opcode = wr.opcode;
+      wc.status = pending_status_;
+      wc.byte_len = pending_ok_ ? wr.length : 0;
+      wc.qp_num = qp_num_;
+      send_cq_->Push(wc);
+    }
+    if (state_ == QpState::kError) {
+      FlushQueues();
+      return;
+    }
+    MaybeStartNext();
+  });
 }
 
 void QueuePair::FlushQueues() {
@@ -477,8 +487,11 @@ void QueuePair::FlushPostedSend(const SendWorkRequest& wr) {
   wc.opcode = wr.opcode;
   wc.status = Aborted("WR flushed: QP in error state");
   wc.qp_num = qp_num_;
-  nic_->simulator()->ScheduleAfter(nic_->cost().cq_poll_overhead_ns,
-                                   [this, wc]() { send_cq_->Push(wc); });
+  ++pending_events_;
+  nic_->simulator()->ScheduleAfter(nic_->cost().cq_poll_overhead_ns, [this, wc]() {
+    --pending_events_;
+    send_cq_->Push(wc);
+  });
 }
 
 void QueuePair::FlushPostedRecv(const RecvWorkRequest& wr) {
@@ -488,8 +501,11 @@ void QueuePair::FlushPostedRecv(const RecvWorkRequest& wr) {
   wc.opcode = Opcode::kRecv;
   wc.status = Aborted("WR flushed: QP in error state");
   wc.qp_num = qp_num_;
-  nic_->simulator()->ScheduleAfter(nic_->cost().cq_poll_overhead_ns,
-                                   [this, wc]() { recv_cq_->Push(wc); });
+  ++pending_events_;
+  nic_->simulator()->ScheduleAfter(nic_->cost().cq_poll_overhead_ns, [this, wc]() {
+    --pending_events_;
+    recv_cq_->Push(wc);
+  });
 }
 
 void QueuePair::DeliverInbound(const uint8_t* src, uint64_t length, bool copy_bytes) {
@@ -523,8 +539,11 @@ void QueuePair::MatchInbound() {
       wc.status = OkStatus();
       wc.byte_len = msg.length;
     }
-    nic_->simulator()->ScheduleAfter(nic_->cost().cq_poll_overhead_ns,
-                                     [this, wc]() { recv_cq_->Push(wc); });
+    ++pending_events_;
+    nic_->simulator()->ScheduleAfter(nic_->cost().cq_poll_overhead_ns, [this, wc]() {
+      --pending_events_;
+      recv_cq_->Push(wc);
+    });
   }
 }
 
@@ -574,9 +593,33 @@ CompletionQueue* NicDevice::CreateCompletionQueue() {
 }
 
 QueuePair* NicDevice::CreateQueuePair(CompletionQueue* send_cq, CompletionQueue* recv_cq) {
+  StatusOr<QueuePair*> qp = TryCreateQueuePair(send_cq, recv_cq);
+  CHECK(qp.ok());
+  return *qp;
+}
+
+StatusOr<QueuePair*> NicDevice::TryCreateQueuePair(CompletionQueue* send_cq,
+                                                   CompletionQueue* recv_cq) {
   CHECK(send_cq != nullptr && recv_cq != nullptr);
+  if (num_queue_pairs() >= cost().max_queue_pairs) {
+    return ResourceExhausted(StrCat("NIC QP limit reached (", cost().max_queue_pairs,
+                                    ") on host", host_id_));
+  }
   qps_.push_back(std::make_unique<QueuePair>(this, next_qp_num_++, send_cq, recv_cq));
   return qps_.back().get();
+}
+
+Status NicDevice::DestroyQueuePair(QueuePair* qp) {
+  if (qp == nullptr) return InvalidArgument("null QP");
+  auto it = std::find_if(qps_.begin(), qps_.end(),
+                         [qp](const std::unique_ptr<QueuePair>& p) { return p.get() == qp; });
+  if (it == qps_.end()) return NotFound("QP not owned by this NIC");
+  check::OnQpDestroyed(host_id_, qp->qp_num(), simulator()->Now());
+  if (qp->peer_ != nullptr && qp->peer_->peer_ == qp) {
+    qp->peer_->peer_ = nullptr;
+  }
+  qps_.erase(it);
+  return OkStatus();
 }
 
 const MemoryRegion* NicDevice::FindRemoteRegion(uint32_t rkey, uint64_t addr,

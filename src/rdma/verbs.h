@@ -152,6 +152,14 @@ class QueuePair {
   bool connected() const { return peer_ != nullptr; }
   QpState state() const { return state_; }
   bool in_error() const { return state_ == QpState::kError; }
+  // True when nothing is queued, in flight, or scheduled against this QP: no
+  // simulator event holds a pointer to it, so it is safe to destroy. The QP
+  // pool evicts only idle lanes.
+  bool idle() const {
+    return !engine_busy_ && send_queue_.empty() && recv_queue_.empty() &&
+           inbound_.empty() && pending_events_ == 0;
+  }
+  QueuePair* peer() const { return peer_; }
   // The transport failure that moved the QP to kError (OK while kReady).
   const Status& error_cause() const { return error_cause_; }
   NicDevice* nic() const { return nic_; }
@@ -170,25 +178,33 @@ class QueuePair {
   // A doorbell-chained WQE list; singles are batches of one.
   using Batch = std::vector<SendWorkRequest>;
 
-  // Starts the next queued send batch if the engine is idle.
+  // Starts the next queued send batch if the engine is idle. The in-flight
+  // batch lives in |current_| (guarded by engine_busy_: exactly one per QP),
+  // so every hot-path closure below captures only `this` — 8 trivially-
+  // copyable bytes, inside std::function's inline buffer. Posting, executing,
+  // retrying and completing a WR therefore allocates nothing per event.
   void MaybeStartNext();
+  // Dispatches |current_| after the post overhead: singles via Execute, WQE
+  // chains via ExecuteBatch.
+  void ExecuteCurrent();
   void Execute(const SendWorkRequest& wr);
   void ExecuteWrite(const SendWorkRequest& wr);
   void ExecuteRead(const SendWorkRequest& wr);
   void ExecuteSend(const SendWorkRequest& wr);
-  // Batch counterparts of ExecuteWrite/CompleteWire/FinishCurrent.
-  void ExecuteBatch(const std::shared_ptr<Batch>& batch);
-  void CompleteBatchWire(const std::shared_ptr<Batch>& batch, const Status& status);
-  void FinishBatch(const std::shared_ptr<Batch>& batch, Status status, bool ok);
+  // Batch counterparts of ExecuteWrite/CompleteWire/FinishCurrent; all
+  // operate on |current_| and the batch cursor members.
+  void ExecuteBatch();
+  void CompleteBatchWire(const Status& status);
+  void FinishBatch(Status status, bool ok);
   // Extra initiation delay modeling the per-QP WQE-engine throughput ceiling
   // (cost.rdma_qp_engine_bytes_per_sec); 0 when the ceiling is disabled.
   int64_t EngineDelayNs(uint64_t bytes) const;
   void FinishCurrent(const SendWorkRequest& wr, Status status, uint64_t bytes);
-  // Wire completion for the in-flight WR: success finishes it, a transport
-  // failure retries with backoff or errors the QP. |on_success| runs before
-  // the completion (e.g. SEND-side inbound delivery).
-  void CompleteWire(const SendWorkRequest& wr, const Status& status,
-                    const std::function<void()>& on_success);
+  // Wire completion for the in-flight WR (current_.front()): success finishes
+  // it, a transport failure retries with backoff or errors the QP. When
+  // |deliver_inbound| is set (SEND), the payload is handed to the peer's
+  // receive matching before the completion.
+  void CompleteWire(const Status& status, bool deliver_inbound);
   // Flushes all queued WRs with kAborted completions (the QP is in kError).
   void FlushQueues();
   // Schedules an immediate flush completion for a WR posted while errored.
@@ -209,6 +225,15 @@ class QueuePair {
   Status error_cause_;
   int retry_attempts_ = 0;  // Transport retries consumed by the in-flight WR.
   bool engine_busy_ = false;
+  Batch current_;             // In-flight batch; valid while engine_busy_.
+  size_t batch_cursor_idx_ = 0;   // First WR of current_ not fully delivered.
+  uint64_t batch_cursor_base_ = 0;  // Stream offset where that WR starts.
+  WorkCompletion pending_wc_;     // Completion being finalized (cq_poll delay).
+  Status pending_status_;         // Batch-wide completion status.
+  bool pending_ok_ = false;
+  // Scheduled events holding `this` outside the engine_busy_ window (flush
+  // completions, recv-side CQE pushes); counted so idle() is exact.
+  int pending_events_ = 0;
   std::deque<Batch> send_queue_;
   std::deque<RecvWorkRequest> recv_queue_;
   std::deque<InboundMessage> inbound_;
@@ -245,7 +270,16 @@ class NicDevice {
   int64_t RegistrationCost(uint64_t length) const;
 
   CompletionQueue* CreateCompletionQueue();
+  // CHECK-fails when the NIC's QP context limit (cost.max_queue_pairs) is
+  // reached; capacity-aware callers (the QP pool) use TryCreateQueuePair.
   QueuePair* CreateQueuePair(CompletionQueue* send_cq, CompletionQueue* recv_cq);
+  StatusOr<QueuePair*> TryCreateQueuePair(CompletionQueue* send_cq, CompletionQueue* recv_cq);
+  // Destroys a QP, releasing its NIC context slot. The caller must ensure the
+  // QP is idle (no WR queued/in flight, no scheduled event referencing it) —
+  // destroying a QP with a write in flight raises a kQpDestroyedInFlight
+  // diagnostic under RdmaCheck. The peer end, if still connected to this QP,
+  // is disconnected (its posts fail with FailedPrecondition afterwards).
+  Status DestroyQueuePair(QueuePair* qp);
 
   // Looks up the MR covering [addr, addr+len) with the given remote key.
   const MemoryRegion* FindRemoteRegion(uint32_t rkey, uint64_t addr, uint64_t len) const;
@@ -257,6 +291,7 @@ class NicDevice {
   const net::CostModel& cost() const { return fabric_->cost(); }
   const NicStats& stats() const { return stats_; }
   int num_registered_regions() const { return static_cast<int>(mrs_by_rkey_.size()); }
+  int num_queue_pairs() const { return static_cast<int>(qps_.size()); }
 
  private:
   friend class QueuePair;

@@ -12,7 +12,7 @@ namespace runtime {
 
 Cluster::Cluster(const ClusterOptions& options)
     : options_(options),
-      fabric_(&simulator_, options.cost, options.num_machines),
+      fabric_(&simulator_, options.cost, options.num_machines, options.topology),
       rdma_fabric_(&fabric_),
       directory_(&rdma_fabric_) {
   ops::RegisterStandardOps();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/graph/partition.h"
+#include "src/net/topology.h"
 #include "src/runtime/executor.h"
 #include "src/runtime/host_runtime.h"
 #include "src/runtime/transfer.h"
@@ -26,6 +27,9 @@ namespace runtime {
 struct ClusterOptions {
   int num_machines = 1;
   net::CostModel cost;
+  // Fabric shape; the default (flat, full bisection) reproduces the paper's
+  // single-switch testbed, a hierarchical config adds rack/spine hops.
+  net::TopologyConfig topology;
   ops::ComputeMode mode = ops::ComputeMode::kReal;
   // Defaults applied to every process created by AddProcess.
   HostRuntimeOptions process_defaults;

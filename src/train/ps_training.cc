@@ -363,6 +363,7 @@ Status TrainingDriver::Initialize(int warmup_steps) {
   runtime::ClusterOptions cluster_options;
   cluster_options.num_machines = num_machines;
   cluster_options.cost = config_.cost;
+  cluster_options.topology = config_.topology;
   cluster_options.mode = ops::ComputeMode::kSimulated;
   cluster_options.process_defaults.rdma_arena_bytes = 96ull << 30;  // Virtual.
   cluster_options.process_defaults.num_worker_contexts = config_.executor_workers;

@@ -25,6 +25,7 @@
 #include "src/control/checkpoint.h"
 #include "src/control/membership.h"
 #include "src/models/model_spec.h"
+#include "src/net/topology.h"
 #include "src/runtime/session.h"
 
 namespace rdmadl {
@@ -69,6 +70,8 @@ struct TrainingConfig {
   // Force the §3.3 dynamic protocol (ablation).
   bool force_dynamic = false;
   net::CostModel cost;
+  // Fabric shape (flat by default; rack/spine for cluster-scale studies).
+  net::TopologyConfig topology;
   int executor_workers = 4;
   int num_cqs = 4;           // §5: "4 CQs per device and 4 QPs per connection".
   int num_qps_per_peer = 4;

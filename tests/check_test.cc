@@ -263,6 +263,40 @@ TEST_F(RdmaCheckVerbsTest, LeakedMrIsReportedAtFinalize) {
   EXPECT_EQ(diags[0].dst_host, 2);
 }
 
+TEST_F(RdmaCheckVerbsTest, DestroyingQpWithInFlightWriteIsDetected) {
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> src(1 << 20, 0x5a);
+  std::vector<uint8_t> dst(1 << 20, 0);
+  auto src_mr = rdma_.nic(0)->RegisterMemory(src.data(), src.size());
+  auto dst_mr = rdma_.nic(1)->RegisterMemory(dst.data(), dst.size());
+  ASSERT_TRUE(src_mr.ok() && dst_mr.ok());
+  ASSERT_TRUE(qa->PostSend(WriteWr(1, src, src_mr->lkey, dst, dst_mr->rkey, src.size())).ok());
+  // Let the transfer start, then rip the QP out mid-flight — the QP-pool
+  // bug class this diagnostic exists for (evicting a non-idle lane).
+  ASSERT_TRUE(simulator_.RunUntil(simulator_.Now() + 1000).ok());
+  ASSERT_TRUE(rdma_.nic(0)->DestroyQueuePair(qa).ok());
+  EXPECT_GE(checker_.count(DiagKind::kQpDestroyedInFlight), 1) << checker_.Report();
+  // The simulator is NOT run further: queued events may name the dead QP.
+}
+
+TEST_F(RdmaCheckVerbsTest, DestroyingIdleQpIsClean) {
+  auto [qa, qb] = ConnectedPair(0, 1);
+  std::vector<uint8_t> src(64 * 1024, 0x21);
+  std::vector<uint8_t> dst(64 * 1024, 0);
+  auto src_mr = rdma_.nic(0)->RegisterMemory(src.data(), src.size());
+  auto dst_mr = rdma_.nic(1)->RegisterMemory(dst.data(), dst.size());
+  ASSERT_TRUE(src_mr.ok() && dst_mr.ok());
+  ASSERT_TRUE(qa->PostSend(WriteWr(1, src, src_mr->lkey, dst, dst_mr->rkey, src.size())).ok());
+  ASSERT_TRUE(simulator_.Run().ok());
+  EXPECT_EQ(src, dst);
+  ASSERT_TRUE(rdma_.nic(0)->DestroyQueuePair(qa).ok());
+  ASSERT_TRUE(rdma_.nic(1)->DestroyQueuePair(qb).ok());
+  EXPECT_EQ(checker_.count(DiagKind::kQpDestroyedInFlight), 0) << checker_.Report();
+  ASSERT_TRUE(rdma_.nic(0)->DeregisterMemory(*src_mr).ok());
+  ASSERT_TRUE(rdma_.nic(1)->DeregisterMemory(*dst_mr).ok());
+  EXPECT_TRUE(checker_.Finalize().empty()) << checker_.Report();
+}
+
 // ---------------------------------------------------------------------------
 // Hook-level checks for the invariants the healthy stack cannot be made to
 // violate from the outside (ascending delivery, flag-read ordering): feed the

@@ -351,8 +351,10 @@ TEST(CollectiveTest, BackToBackCollectivesReuseTheGroup) {
     }
   }
   EXPECT_EQ(group->stats().allreduces, 3);
-  // Address distribution ran exactly once, at the first collective.
-  EXPECT_EQ(group->stats().setup_rpcs, 4 * 3);
+  // Address distribution ran exactly once, at the first collective, and only
+  // over the ring-successor pairs the schedules write on (one per rank) —
+  // not all n*(n-1) pairs.
+  EXPECT_EQ(group->stats().setup_rpcs, 4);
 }
 
 }  // namespace

@@ -390,6 +390,99 @@ TEST_F(DeviceTest, RecoverChannelsIsIdempotentWithFlushedRecvsInFlight) {
   EXPECT_EQ(b->rpc_recvs_posted(Endpoint{0, 7000}), RdmaDevice::rpc_recv_depth());
 }
 
+TEST_F(DeviceTest, PooledLanesEvictAndCachedChannelsReattach) {
+  // Cap each NIC at 3 QP contexts: with two RPC QPs on host 0 (peers b and
+  // c), only one data lane fits at a time, so connecting to a second peer
+  // evicts the first peer's lanes. Cached RdmaChannel pointers must survive
+  // the eviction and transparently reconnect on the next Memcpy — this is
+  // the contract the zero-copy mechanism's per-edge channel cache relies on.
+  net::CostModel tight = cost_;
+  tight.max_queue_pairs = 3;
+  net::Fabric fabric(&simulator_, tight, 4);
+  rdma::RdmaFabric rdma(&fabric);
+  DeviceDirectory directory(&rdma);
+  auto make = [&](int host) {
+    auto dev = RdmaDevice::Create(&directory, /*num_cqs=*/1, /*num_qps_per_peer=*/2,
+                                  Endpoint{host, 7000});
+    CHECK(dev.ok()) << dev.status();
+    return std::move(dev).value();
+  };
+  auto a = make(0);
+  auto b = make(1);
+  auto c = make(2);
+
+  auto src = a->AllocateMemRegion(8192);
+  auto dst_b = b->AllocateMemRegion(8192);
+  auto dst_c = c->AllocateMemRegion(8192);
+  ASSERT_TRUE(src.ok() && dst_b.ok() && dst_c.ok());
+  std::iota(src->data(), src->data() + 8192, 0);
+  std::memset(dst_b->data(), 0, 8192);
+  std::memset(dst_c->data(), 0, 8192);
+
+  auto copy = [&](RdmaChannel* chan, const MemRegion& dst) {
+    bool done = false;
+    Status result = Internal("never fired");
+    chan->Memcpy(reinterpret_cast<uint64_t>(src->data()), *src, dst.Remote().addr,
+                 dst.Remote(), 8192, Direction::kLocalToRemote, [&](const Status& s) {
+                   done = true;
+                   result = s;
+                 });
+    CHECK_OK(simulator_.Run());
+    CHECK(done);
+    return result;
+  };
+
+  // Both lanes toward b, then cache the channel pointers.
+  auto ab0 = a->GetChannel(b->endpoint(), 0);
+  auto ab1 = a->GetChannel(b->endpoint(), 1);
+  ASSERT_TRUE(ab0.ok() && ab1.ok());
+  ASSERT_TRUE(copy(*ab0, *dst_b).ok());
+  EXPECT_EQ(std::memcmp(dst_b->data(), src->data(), 8192), 0);
+
+  // Connecting toward c exhausts host 0's contexts: the pool evicts b-lanes.
+  auto ac0 = a->GetChannel(c->endpoint(), 0);
+  ASSERT_TRUE(ac0.ok());
+  ASSERT_TRUE(copy(*ac0, *dst_c).ok());
+  EXPECT_EQ(std::memcmp(dst_c->data(), src->data(), 8192), 0);
+  rdma::QpPool* pool = directory.qp_pool();
+  EXPECT_GT(pool->stats().evictions, 0u);
+  EXPECT_LE(rdma.nic(0)->num_queue_pairs(), 3);
+
+  // The stale cached pointer still works: the lane reattaches from the pool.
+  std::memset(dst_b->data(), 0, 8192);
+  ASSERT_TRUE(copy(*ab0, *dst_b).ok());
+  EXPECT_EQ(std::memcmp(dst_b->data(), src->data(), 8192), 0);
+  EXPECT_GT(pool->stats().reconnects, 0u);
+
+  // Total QP usage stayed at the cap, not peers x lanes.
+  for (int host = 0; host < 3; ++host) {
+    EXPECT_LE(rdma.nic(host)->num_queue_pairs(), 3);
+  }
+}
+
+TEST_F(DeviceTest, DeviceDestructionReturnsPooledLanes) {
+  net::CostModel tight = cost_;
+  tight.max_queue_pairs = 4;
+  net::Fabric fabric(&simulator_, tight, 2);
+  rdma::RdmaFabric rdma(&fabric);
+  DeviceDirectory directory(&rdma);
+  auto a = RdmaDevice::Create(&directory, 1, 2, Endpoint{0, 7000});
+  ASSERT_TRUE(a.ok());
+  {
+    auto b = RdmaDevice::Create(&directory, 1, 2, Endpoint{1, 7000});
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE((*a)->GetChannel((*b)->endpoint(), 0).ok());
+    ASSERT_TRUE((*a)->GetChannel((*b)->endpoint(), 1).ok());
+    EXPECT_EQ(directory.qp_pool()->num_lanes(), 2);
+  }
+  // b is gone: its lanes were torn down and a's bindings dropped.
+  EXPECT_EQ(directory.qp_pool()->num_lanes(), 0);
+  // A fresh peer at the same endpoint connects from scratch.
+  auto b2 = RdmaDevice::Create(&directory, 1, 2, Endpoint{1, 7000});
+  ASSERT_TRUE(b2.ok());
+  EXPECT_TRUE((*a)->GetChannel((*b2)->endpoint(), 0).ok());
+}
+
 }  // namespace
 }  // namespace device
 }  // namespace rdmadl

@@ -4,8 +4,10 @@
 #include <numeric>
 #include <vector>
 
+#include "src/rdma/qp_pool.h"
 #include "src/rdma/verbs.h"
 #include "src/sim/fault.h"
+#include "src/util/endpoint.h"
 
 namespace rdmadl {
 namespace rdma {
@@ -590,6 +592,242 @@ TEST_F(VerbsTest, RecoverReturnsErroredQpToService) {
   EXPECT_EQ(wc.wr_id, 32u);
   EXPECT_TRUE(wc.status.ok());
   EXPECT_EQ(src, dst);
+}
+
+// ---------------------------------------------------------------------------
+// QpPool: on-demand shared lanes, LRU eviction under the NIC QP cap,
+// transparent reconnect, and determinism.
+// ---------------------------------------------------------------------------
+
+class QpPoolTest : public ::testing::Test {
+ protected:
+  struct EvictionRecord {
+    Endpoint local;
+    Endpoint remote;
+    int lane;
+  };
+
+  // One self-contained stack per test so caps can vary.
+  struct Stack {
+    explicit Stack(net::CostModel cost, int hosts = 3)
+        : fabric(&simulator, cost, hosts), rdma(&fabric), pool(&rdma) {}
+
+    void Register(const Endpoint& ep, std::vector<EvictionRecord>* log = nullptr) {
+      NicDevice* nic = rdma.nic(ep.host_id);
+      CompletionQueue* cq = nic->CreateCompletionQueue();
+      CHECK_OK(pool.RegisterEndpoint(
+          ep, ep.host_id, [cq]() { return cq; },
+          [log](const Endpoint& local, const Endpoint& remote, int lane) {
+            if (log != nullptr) log->push_back({local, remote, lane});
+          }));
+    }
+
+    sim::Simulator simulator;
+    net::Fabric fabric;
+    RdmaFabric rdma;
+    QpPool pool;
+  };
+
+  static net::CostModel Capped(int max_qps) {
+    net::CostModel cost;
+    cost.max_queue_pairs = max_qps;
+    return cost;
+  }
+};
+
+TEST_F(QpPoolTest, AcquireCreatesOnceThenHitsFromBothEnds) {
+  Stack s(net::CostModel{});
+  const Endpoint a{0, 1}, b{1, 1};
+  s.Register(a);
+  s.Register(b);
+
+  auto qa = s.pool.Acquire(a, b, /*lane=*/0);
+  ASSERT_TRUE(qa.ok());
+  auto qb = s.pool.Acquire(b, a, /*lane=*/0);
+  ASSERT_TRUE(qb.ok());
+  // Both directions share one connected lane.
+  EXPECT_EQ((*qa)->peer(), *qb);
+  EXPECT_EQ((*qb)->peer(), *qa);
+  EXPECT_EQ(s.pool.num_lanes(), 1);
+  EXPECT_EQ(s.pool.stats().creates, 1u);
+  EXPECT_EQ(s.pool.stats().hits, 1u);
+  EXPECT_EQ(*qa, *s.pool.Acquire(a, b, 0));
+  EXPECT_EQ(s.pool.stats().hits, 2u);
+
+  // Distinct stripe index = distinct lane.
+  auto lane1 = s.pool.Acquire(a, b, /*lane=*/1);
+  ASSERT_TRUE(lane1.ok());
+  EXPECT_NE(*lane1, *qa);
+  EXPECT_EQ(s.pool.num_lanes(), 2);
+
+  // A pooled lane carries real traffic.
+  std::vector<uint8_t> src(4096), dst(4096, 0);
+  std::iota(src.begin(), src.end(), 0);
+  auto src_mr = s.rdma.nic(0)->RegisterMemory(src.data(), src.size());
+  auto dst_mr = s.rdma.nic(1)->RegisterMemory(dst.data(), dst.size());
+  ASSERT_TRUE(src_mr.ok() && dst_mr.ok());
+  SendWorkRequest wr;
+  wr.wr_id = 1;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = reinterpret_cast<uint64_t>(src.data());
+  wr.lkey = src_mr->lkey;
+  wr.length = src.size();
+  wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+  wr.rkey = dst_mr->rkey;
+  ASSERT_TRUE((*qa)->PostSend(wr).ok());
+  ASSERT_TRUE(s.simulator.Run().ok());
+  EXPECT_EQ(src, dst);
+}
+
+TEST_F(QpPoolTest, AcquireRequiresRegisteredEndpoints) {
+  Stack s(net::CostModel{});
+  const Endpoint a{0, 1}, b{1, 1};
+  s.Register(a);
+  auto denied = s.pool.Acquire(a, b, 0);
+  EXPECT_EQ(denied.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(s.pool.Acquire(a, a, 0).ok());
+  EXPECT_FALSE(s.pool.Acquire(a, b, -1).ok());
+}
+
+TEST_F(QpPoolTest, CapEvictsLruIdleLaneAndReconnectTransparently) {
+  // One QP context per NIC: the a-b and a-c lanes cannot coexist on host 0.
+  Stack s(Capped(1));
+  std::vector<EvictionRecord> log;
+  const Endpoint a{0, 1}, b{1, 1}, c{2, 1};
+  s.Register(a, &log);
+  s.Register(b, &log);
+  s.Register(c, &log);
+
+  ASSERT_TRUE(s.pool.Acquire(a, b, 0).ok());
+  const uint64_t gen0 = s.pool.generation();
+
+  // host 0 is full; the idle a-b lane is the LRU victim.
+  ASSERT_TRUE(s.pool.Acquire(a, c, 0).ok());
+  EXPECT_EQ(s.pool.stats().evictions, 1u);
+  EXPECT_GT(s.pool.generation(), gen0);
+  EXPECT_EQ(s.pool.num_lanes(), 1);
+  // Both owners of the evicted lane were notified, each from its own side.
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].local, a);
+  EXPECT_EQ(log[0].remote, b);
+  EXPECT_EQ(log[1].local, b);
+  EXPECT_EQ(log[1].remote, a);
+  EXPECT_EQ(log[0].lane, 0);
+
+  // Re-acquiring the evicted key reconnects rather than failing.
+  ASSERT_TRUE(s.pool.Acquire(b, a, 0).ok());
+  EXPECT_EQ(s.pool.stats().reconnects, 1u);
+  EXPECT_EQ(s.pool.stats().evictions, 2u);
+  // The NIC cap held throughout.
+  for (int host = 0; host < 3; ++host) {
+    EXPECT_LE(s.rdma.nic(host)->num_queue_pairs(), 1);
+  }
+}
+
+TEST_F(QpPoolTest, BusyLanesAreNotEvicted) {
+  Stack s(Capped(1));
+  const Endpoint a{0, 1}, b{1, 1}, c{2, 1};
+  s.Register(a);
+  s.Register(b);
+  s.Register(c);
+
+  auto qa = s.pool.Acquire(a, b, 0);
+  ASSERT_TRUE(qa.ok());
+  std::vector<uint8_t> src(1 << 20), dst(1 << 20, 0);
+  auto src_mr = s.rdma.nic(0)->RegisterMemory(src.data(), src.size());
+  auto dst_mr = s.rdma.nic(1)->RegisterMemory(dst.data(), dst.size());
+  ASSERT_TRUE(src_mr.ok() && dst_mr.ok());
+  SendWorkRequest wr;
+  wr.wr_id = 9;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = reinterpret_cast<uint64_t>(src.data());
+  wr.lkey = src_mr->lkey;
+  wr.length = src.size();
+  wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+  wr.rkey = dst_mr->rkey;
+  ASSERT_TRUE((*qa)->PostSend(wr).ok());
+  ASSERT_FALSE((*qa)->idle());
+
+  // The only candidate lane is mid-write: acquisition must fail, not destroy
+  // a QP with posted work.
+  auto denied = s.pool.Acquire(a, c, 0);
+  EXPECT_EQ(denied.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.pool.stats().exhausted, 1u);
+
+  // Once the write drains the lane is evictable again.
+  ASSERT_TRUE(s.simulator.Run().ok());
+  EXPECT_TRUE((*qa)->idle());
+  EXPECT_TRUE(s.pool.Acquire(a, c, 0).ok());
+  EXPECT_EQ(s.pool.stats().evictions, 1u);
+}
+
+TEST_F(QpPoolTest, UnregisterTearsDownLanesAndNotifiesPeers) {
+  Stack s(net::CostModel{});
+  std::vector<EvictionRecord> log;
+  const Endpoint a{0, 1}, b{1, 1}, c{2, 1};
+  s.Register(a, &log);
+  s.Register(b, &log);
+  s.Register(c, &log);
+  ASSERT_TRUE(s.pool.Acquire(a, b, 0).ok());
+  ASSERT_TRUE(s.pool.Acquire(a, b, 1).ok());
+  ASSERT_TRUE(s.pool.Acquire(b, c, 0).ok());
+
+  const uint64_t gen0 = s.pool.generation();
+  s.pool.UnregisterEndpoint(b);
+  // Every lane touching b is gone; the a-? and c-? owners heard about it.
+  EXPECT_EQ(s.pool.num_lanes(), 0);
+  EXPECT_GT(s.pool.generation(), gen0);
+  EXPECT_FALSE(s.pool.registered(b));
+  EXPECT_EQ(log.size(), 6u);  // 3 lanes x both sides.
+  EXPECT_EQ(s.rdma.nic(1)->num_queue_pairs(), 0);
+
+  // Idempotent for unknown endpoints.
+  s.pool.UnregisterEndpoint(b);
+}
+
+TEST_F(QpPoolTest, SameSeedRunsProduceIdenticalTraces) {
+  // The pooled path (creation order, LRU eviction, reconnects) must be fully
+  // deterministic: two identical runs — acquisitions interleaved with writes
+  // under a cap tight enough to force evictions — yield byte-identical
+  // completion traces.
+  auto run = [](std::vector<std::pair<uint64_t, int64_t>>* trace) {
+    Stack s(Capped(2));
+    const Endpoint a{0, 1}, b{1, 1}, c{2, 1};
+    s.Register(a);
+    s.Register(b);
+    s.Register(c);
+    std::vector<uint8_t> src(64 * 1024), dst(64 * 1024, 0);
+    std::iota(src.begin(), src.end(), 0);
+    auto src_mr = s.rdma.nic(0)->RegisterMemory(src.data(), src.size());
+    auto dst_b = s.rdma.nic(1)->RegisterMemory(dst.data(), dst.size());
+    auto dst_c = s.rdma.nic(2)->RegisterMemory(dst.data(), dst.size());
+    CHECK(src_mr.ok() && dst_b.ok() && dst_c.ok());
+    for (int round = 0; round < 6; ++round) {
+      const Endpoint& remote = (round % 2 == 0) ? b : c;
+      auto qp = s.pool.Acquire(a, remote, round % 3);
+      CHECK(qp.ok()) << qp.status();
+      SendWorkRequest wr;
+      wr.wr_id = 100 + round;
+      wr.opcode = Opcode::kWrite;
+      wr.local_addr = reinterpret_cast<uint64_t>(src.data());
+      wr.lkey = src_mr->lkey;
+      wr.length = 4096 * (round + 1);
+      wr.remote_addr = reinterpret_cast<uint64_t>(dst.data());
+      wr.rkey = (round % 2 == 0) ? dst_b->rkey : dst_c->rkey;
+      CHECK_OK((*qp)->PostSend(wr));
+      CHECK_OK(s.simulator.Run());
+      WorkCompletion wc;
+      while ((*qp)->send_cq()->Poll(&wc)) {
+        trace->push_back({wc.wr_id, s.simulator.Now()});
+      }
+    }
+    trace->push_back({s.pool.stats().evictions, static_cast<int64_t>(s.pool.num_lanes())});
+  };
+  std::vector<std::pair<uint64_t, int64_t>> first, second;
+  run(&first);
+  run(&second);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
 }
 
 }  // namespace

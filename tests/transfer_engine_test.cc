@@ -360,6 +360,81 @@ TEST(ExtentLruCacheTest, CoversLookupsAndEvictsLeastRecentlyUsed) {
 // Same seed, same schedule: the striping and coalescing paths must not
 // introduce any pointer- or wall-clock-dependent ordering. Two fresh worlds
 // running an identical striped collective must emit byte-identical traces.
+TEST(TransferEngineTest, PooledLaneEvictionIsTransparentToTheEngine) {
+  // One RPC QP plus at most two data lanes fit per NIC, but the engine
+  // rotates over four lanes: every few writes the pool must evict the LRU
+  // idle lane and transparently reconnect it on the next acquire. The engine
+  // notices nothing — its channel cache is invalidated by the pool
+  // generation bump and re-resolves through the pool.
+  net::CostModel cost;
+  cost.max_queue_pairs = 3;
+  World world(cost);
+  auto src_dev = world.MakeDevice(0);
+  auto dst_dev = world.MakeDevice(1);
+
+  constexpr int kWrites = 6;
+  constexpr uint64_t kBytes = 16 << 10;  // Above the coalesce threshold: direct.
+  auto src = src_dev->AllocateMemRegion(kWrites * kBytes);
+  auto dst = dst_dev->AllocateMemRegion(kWrites * kBytes);
+  auto src_flag = src_dev->AllocateMemRegion(1);
+  auto dst_flags = dst_dev->AllocateMemRegion(kWrites);
+  ASSERT_TRUE(src.ok() && dst.ok() && src_flag.ok() && dst_flags.ok());
+  for (uint64_t i = 0; i < kWrites * kBytes; ++i) {
+    src->data()[i] = static_cast<uint8_t>(i * 23 + 11);
+  }
+  std::memset(dst->data(), 0, kWrites * kBytes);
+  std::memset(dst_flags->data(), 0, kWrites);
+  src_flag->data()[0] = 1;
+
+  TransferEngine engine(src_dev.get(), TransferEngineOptions{});
+  rdma::QpPool* pool = src_dev->qp_pool();
+  for (int i = 0; i < kWrites; ++i) {
+    TransferEngine::WriteDesc payload{src->data() + i * kBytes, src->lkey(),
+                                      dst->Remote().addr + i * kBytes, dst->rkey(), kBytes,
+                                      /*copy_bytes=*/true};
+    TransferEngine::WriteDesc flag{src_flag->data(), src_flag->lkey(),
+                                   dst_flags->Remote().addr + i, dst_flags->rkey(), 1,
+                                   /*copy_bytes=*/true};
+    bool done = false;
+    Status result = Internal("callback never fired");
+    TransferEngine::Route route =
+        engine.WriteWithFlag(dst_dev->endpoint(), payload, flag, /*lane_hint=*/i,
+                             [&](const Status& s) {
+                               done = true;
+                               result = s;
+                             });
+    EXPECT_EQ(route, TransferEngine::Route::kDirect);
+    ASSERT_TRUE(world.simulator.RunUntilPredicate([&] { return done; }).ok());
+    ASSERT_TRUE(result.ok()) << "write " << i << ": " << result;
+    // The cap held at every step, RPC QPs included.
+    EXPECT_LE(world.rdma.nic(0)->num_queue_pairs(), 3);
+    EXPECT_LE(world.rdma.nic(1)->num_queue_pairs(), 3);
+  }
+  EXPECT_EQ(std::memcmp(dst->data(), src->data(), kWrites * kBytes), 0);
+  for (int i = 0; i < kWrites; ++i) EXPECT_EQ(dst_flags->data()[i], 1);
+  // Four lanes through two slots: evictions and reconnects actually happened.
+  EXPECT_GT(pool->stats().evictions, 0u);
+  EXPECT_GT(pool->stats().reconnects, 0u);
+
+  // After a recovery-style reset the engine drops its lane cache and the
+  // next write re-acquires from the pool.
+  engine.ResetTransientState();
+  bool done = false;
+  Status result = Internal("callback never fired");
+  TransferEngine::WriteDesc payload{src->data(), src->lkey(), dst->Remote().addr,
+                                    dst->rkey(), kBytes, /*copy_bytes=*/true};
+  TransferEngine::WriteDesc flag{src_flag->data(), src_flag->lkey(),
+                                 dst_flags->Remote().addr, dst_flags->rkey(), 1,
+                                 /*copy_bytes=*/true};
+  engine.WriteWithFlag(dst_dev->endpoint(), payload, flag, /*lane_hint=*/3,
+                       [&](const Status& s) {
+                         done = true;
+                         result = s;
+                       });
+  ASSERT_TRUE(world.simulator.RunUntilPredicate([&] { return done; }).ok());
+  EXPECT_TRUE(result.ok()) << result;
+}
+
 TEST(TransferEngineDeterminismTest, StripedCollectiveTracesAreByteIdentical) {
   auto run_once = [](std::string* json) {
     sim::Tracer tracer;
