@@ -18,6 +18,9 @@
 // Flags:
 //   --quick        small sweep (CI-sized)
 //   --smoke        single 256-host point per phase (scripts/check.sh --scale)
+//   --collectives  all-reduce phase only, with the multi-level algorithm
+//                  series (ring vs hierarchical vs kAuto vs in-network) on
+//                  the oversubscribed rack fabric (BENCH_7.json)
 //   --check[=N]    install RdmaCheck and a seeded chaos injector (latency
 //                  spikes + link-down blips; seed N, default 1); any
 //                  diagnostic is a hard failure
@@ -51,6 +54,7 @@ struct Flags {
   bool quick = false;
   bool smoke = false;
   bool check = false;
+  bool collectives = false;  // All-reduce phase only (BENCH_7 series).
   uint64_t chaos_seed = 1;
   std::string json_path;
 };
@@ -65,6 +69,16 @@ std::vector<TopoPoint> Topologies() {
   hier.hosts_per_rack = 32;
   hier.oversubscription = 4.0;
   return {{"flat", net::TopologyConfig{}}, {"rack32-o4", hier}};
+}
+
+// Same rack/spine shape with the ToR/spine reduction engines turned on —
+// the fabric Algorithm::kInNetwork (and kAuto, under its size cap) drives.
+TopoPoint SwitchReduceTopology() {
+  net::TopologyConfig config;
+  config.hosts_per_rack = 32;
+  config.oversubscription = 4.0;
+  config.switch_reduce = true;
+  return {"rack32-o4-sr", config};
 }
 
 // Latency spikes and short link-down blips: enough chaos to shake event
@@ -131,10 +145,12 @@ void RequireClean(check::RdmaCheck* checker, const ScaleRow& row) {
 }
 
 ScaleRow RunAllReduce(int hosts, const TopoPoint& topo, uint64_t elements,
-                      const Flags& flags) {
+                      const Flags& flags,
+                      collective::Algorithm algorithm = collective::Algorithm::kRing,
+                      const char* series = "ring-4MiB") {
   ScaleRow row;
   row.phase = "allreduce";
-  row.model = "ring-4MiB";
+  row.model = series;
   row.topology = topo.name;
   row.hosts = hosts;
 
@@ -154,6 +170,7 @@ ScaleRow RunAllReduce(int hosts, const TopoPoint& topo, uint64_t elements,
   {
     device::DeviceDirectory directory(&rdma);
     collective::CollectiveOptions options;
+    options.algorithm = algorithm;
     options.materialize = false;  // Virtual payload: 1000 ranks stay cheap.
     std::vector<int> host_ids(hosts);
     std::iota(host_ids.begin(), host_ids.end(), 0);
@@ -278,17 +295,42 @@ void Run(const Flags& flags) {
       PrintRow(rows.back());
     }
   }
-  bench::PrintRule();
-  for (const TopoPoint& topo : Topologies()) {
-    for (const PsModel& ps : ps_models) {
-      for (int hosts : ps_hosts) {
-        if (hosts > ps.max_hosts) continue;
-        rows.push_back(RunPsStep(hosts, topo, ps.model, flags));
-        PrintRow(rows.back());
-      }
+  // Multi-level schedules on the oversubscribed fabric (ISSUE 7): explicit
+  // hierarchical, the kAuto selector (ring at one rack, hierarchical past
+  // it), and the in-network stage on the switch-reduce fabric. Skipped in
+  // --smoke so that output stays byte-stable for the determinism baseline.
+  if (!flags.smoke) {
+    const TopoPoint rack = Topologies()[1];
+    const TopoPoint sr = SwitchReduceTopology();
+    for (int hosts : allreduce_hosts) {
+      rows.push_back(RunAllReduce(hosts, rack, elements, flags,
+                                  collective::Algorithm::kHierarchical, "hier-4MiB"));
+      PrintRow(rows.back());
+    }
+    for (int hosts : allreduce_hosts) {
+      rows.push_back(RunAllReduce(hosts, rack, elements, flags,
+                                  collective::Algorithm::kAuto, "auto-4MiB"));
+      PrintRow(rows.back());
+    }
+    for (int hosts : allreduce_hosts) {
+      rows.push_back(RunAllReduce(hosts, sr, elements, flags,
+                                  collective::Algorithm::kAuto, "innet-4MiB"));
+      PrintRow(rows.back());
     }
   }
   bench::PrintRule();
+  if (!flags.collectives) {
+    for (const TopoPoint& topo : Topologies()) {
+      for (const PsModel& ps : ps_models) {
+        for (int hosts : ps_hosts) {
+          if (hosts > ps.max_hosts) continue;
+          rows.push_back(RunPsStep(hosts, topo, ps.model, flags));
+          PrintRow(rows.back());
+        }
+      }
+    }
+    bench::PrintRule();
+  }
 
   // The sublinearity acceptance. Per-NIC counts always honor the pool cap,
   // which alone bounds the total at cap * hosts — linear, where eager
@@ -306,6 +348,37 @@ void Run(const Flags& flags) {
   }
   std::printf("Per-NIC QP cap %d respected everywhere; totals sublinear in hosts^2.\n",
               net::CostModel{}.max_queue_pairs);
+
+  // Multi-level acceptance (ISSUE 7): on the oversubscribed rack fabric at
+  // 256+ hosts the two-level schedule must beat the flat ring, and kAuto
+  // must resolve to exactly the hierarchical schedule (identical virtual
+  // time — the selector adds no cost).
+  if (!flags.smoke) {
+    auto virtual_ms_of = [&rows](const char* series, const char* topology,
+                                 int hosts) -> const ScaleRow* {
+      for (const ScaleRow& row : rows) {
+        if (row.model == series && row.topology == topology && row.hosts == hosts) {
+          return &row;
+        }
+      }
+      return nullptr;
+    };
+    bool checked = false;
+    for (const ScaleRow& row : rows) {
+      if (row.model != std::string("hier-4MiB") || row.hosts < 256) continue;
+      const ScaleRow* ring = virtual_ms_of("ring-4MiB", row.topology.c_str(), row.hosts);
+      const ScaleRow* self = virtual_ms_of("auto-4MiB", row.topology.c_str(), row.hosts);
+      CHECK(ring != nullptr && self != nullptr);
+      CHECK_LT(row.virtual_ms, ring->virtual_ms)
+          << "hierarchical did not beat the ring at " << row.hosts << " hosts";
+      CHECK_EQ(self->virtual_ms, row.virtual_ms)
+          << "kAuto diverged from the hierarchical schedule at " << row.hosts << " hosts";
+      checked = true;
+    }
+    if (checked) {
+      std::printf("Hierarchical < ring at 256+ hosts on rack32-o4; kAuto matches it.\n");
+    }
+  }
 
   for (const ScaleRow& row : rows) {
     json.BeginRow();
@@ -342,6 +415,8 @@ int main(int argc, char** argv) {
       flags.quick = true;
     } else if (arg == "--smoke") {
       flags.smoke = true;
+    } else if (arg == "--collectives") {
+      flags.collectives = true;
     } else if (arg == "--check") {
       flags.check = true;
     } else if (arg.rfind("--check=", 0) == 0) {

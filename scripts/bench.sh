@@ -10,14 +10,21 @@
 # to 1000 simulated hosts) and emits BENCH_6.json with per-point virtual
 # time, wall-clock events/sec and QP-pool footprint.
 #
+# Finally runs the collective-algorithm series (bench_scale --collectives:
+# flat ring vs hierarchical vs kAuto vs in-network on the oversubscribed
+# rack fabric) and emits BENCH_7.json; the binary itself asserts that the
+# hierarchical schedule beats the ring at 256+ hosts and that kAuto matches
+# it exactly.
+#
 # Usage:
-#   scripts/bench.sh            # full sweeps -> BENCH_5.json + BENCH_6.json
+#   scripts/bench.sh            # full sweeps -> BENCH_5/6/7.json
 #   scripts/bench.sh --quick    # reduced size set (CI smoke config)
 #
 # Environment:
 #   BUILD_DIR   override the build directory (default: build)
 #   BENCH_OUT   override the transfer-sweep output (default: BENCH_5.json)
 #   BENCH6_OUT  override the cluster-scale output (default: BENCH_6.json)
+#   BENCH7_OUT  override the collective-series output (default: BENCH_7.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +32,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCH_OUT="${BENCH_OUT:-BENCH_5.json}"
 BENCH6_OUT="${BENCH6_OUT:-BENCH_6.json}"
+BENCH7_OUT="${BENCH7_OUT:-BENCH_7.json}"
 JOBS="${JOBS:-$(nproc)}"
 
 QUICK=()
@@ -42,3 +50,5 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_fig8_micro --target bench_s
 echo "wrote $BENCH_OUT" >&2
 
 "$BUILD_DIR/bench/bench_scale" "${QUICK[@]}" --json="$BENCH6_OUT"
+
+"$BUILD_DIR/bench/bench_scale" --collectives "${QUICK[@]}" --json="$BENCH7_OUT"

@@ -35,6 +35,14 @@
 #                                 # checker diagnostics, QP-cap overflows and
 #                                 # nondeterminism all fail. Also part of the
 #                                 # default (no-flag) flow.
+#   scripts/check.sh --collectives # collective conformance sweep: the
+#                                 # equivalence matrix (every algorithm x
+#                                 # topology shape x tensor size against the
+#                                 # scalar reference) plain and under
+#                                 # RDMADL_CHECK=1, the multi-level chaos and
+#                                 # elastic tests across the seed list, and
+#                                 # an ASan+UBSan pass over the conformance
+#                                 # binary
 #
 # The chaos/elastic/check/scale suites are also registered as ctest labels,
 # so `ctest -L chaos` / `ctest -L elastic` / `ctest -L check` /
@@ -62,6 +70,7 @@ for arg in "$@"; do
     --verify) MODE=verify ;;
     --bench-smoke) MODE=bench-smoke ;;
     --scale) MODE=scale ;;
+    --collectives) MODE=collectives ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -201,5 +210,28 @@ case "$MODE" in
   scale)
     plain_build
     scale_smoke "$BUILD_DIR"
+    ;;
+  collectives)
+    # Collective conformance sweep (ISSUE 7). The equivalence matrix runs
+    # plain, then with the protocol checker installed in every test; the
+    # multi-level chaos (HierarchicalChaosTest) and elastic leader
+    # re-election tests sweep the fault seeds; finally the conformance
+    # binary runs under ASan+UBSan — the matrix touches every slot/flag
+    # layout the hierarchical and in-network schedules compute.
+    plain_build
+    "$BUILD_DIR/tests/collective_conformance_test" --gtest_brief=1
+    RDMADL_CHECK=1 "$BUILD_DIR/tests/collective_conformance_test" --gtest_brief=1
+    for seed in ${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}; do
+      echo "=== collective chaos sweep: RDMADL_FAULT_SEED=$seed ==="
+      RDMADL_FAULT_SEED="$seed" RDMADL_CHECK=1 "$BUILD_DIR/tests/fault_test" \
+        --gtest_brief=1 --gtest_filter='HierarchicalChaosTest.*'
+      RDMADL_FAULT_SEED="$seed" RDMADL_CHECK=1 "$BUILD_DIR/tests/elastic_test" \
+        --gtest_brief=1 --gtest_filter='*Hierarchical*'
+    done
+    SAN_DIR="${BUILD_DIR:-build}-sanitize"
+    cmake -B "$SAN_DIR" -S . -DRDMADL_SANITIZE=address
+    cmake --build "$SAN_DIR" -j "$JOBS" --target collective_conformance_test
+    "$SAN_DIR/tests/collective_conformance_test" --gtest_brief=1
+    echo "collective conformance sweep passed"
     ;;
 esac

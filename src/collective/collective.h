@@ -63,6 +63,24 @@ namespace collective {
 enum class Algorithm {
   kRing,         // Bandwidth-optimal ring (reduce-scatter + all-gather).
   kNaiveGather,  // Gather-to-root, reduce at root, scatter result (star).
+  // Two-level topology-aware all-reduce (AllReduce only; the standalone
+  // collectives keep their flat-ring schedules): binomial reduce trees
+  // within each rack feed a fused ring over the rack leaders across the
+  // spine, then binomial broadcast trees fan the result back out. Lanes
+  // pipeline the level handoff: one lane's leader ring runs while another
+  // lane's rack trees are still reducing. On a flat fabric the whole group
+  // is one "rack", so this degenerates to a single binomial tree.
+  kHierarchical,
+  // NetReduce-style in-network reduction (AllReduce only): every rank
+  // streams aggregation windows into its ToR's reduction engine; partials
+  // cross the spine aggregator and the result streams back down. Requires a
+  // topology with switch_reduce enabled.
+  kInNetwork,
+  // Resolved once at Create from the fabric shape and tensor size: flat or
+  // single-rack groups run kRing; multi-rack groups run kInNetwork when the
+  // fabric has a switch-reduce stage and the tensor fits the in-network
+  // sweet spot, else kHierarchical. options().algorithm holds the result.
+  kAuto,
 };
 
 enum class Transport {
@@ -130,6 +148,14 @@ class CollectiveGroup {
   int size() const { return static_cast<int>(ranks_.size()); }
   uint64_t max_elements() const { return max_elements_; }
   const CollectiveOptions& options() const { return options_; }
+  // The concrete algorithm the group runs (kAuto is resolved at Create and
+  // stays fixed across Reconfigure).
+  Algorithm algorithm() const { return options_.algorithm; }
+  // Rack partition the hierarchical/in-network schedules use: member ranks
+  // per rack ordinal, members in rank order, leader first. A flat fabric is
+  // one rack. Rebuilt by Reconfigure (the first surviving member of a rack
+  // becomes its leader — re-election is positional, no extra protocol).
+  const std::vector<std::vector<int>>& racks() const { return racks_; }
   sim::Simulator* simulator() const;
 
   // Rank r's local vector (|max_elements| floats). Null in virtual mode.
@@ -220,11 +246,36 @@ class CollectiveGroup {
   const net::CostModel& cost() const;
 
   // Algorithm entry points (ring_allreduce.cc, naive_allreduce.cc,
-  // broadcast.cc).
+  // broadcast.cc, hierarchical_allreduce.cc, innetwork_allreduce.cc).
   void StartRing(const std::shared_ptr<Op>& op, bool do_reduce_scatter,
                  bool do_all_gather);
   void StartNaiveGather(const std::shared_ptr<Op>& op);
   void StartBroadcast(const std::shared_ptr<Op>& op);
+  void StartHierarchical(const std::shared_ptr<Op>& op);
+  void StartInNetwork(const std::shared_ptr<Op>& op);
+  // One aggregation window of lane |lane| through the switch-reduce stage;
+  // chains itself until the lane's rounds are exhausted.
+  void IssueInNetworkRound(const std::shared_ptr<Op>& op, int lane, int round);
+
+  // Groups the member hosts into racks_ / rank_rack_ / rank_pos_ from the
+  // fabric topology (one rack when flat).
+  void BuildRacks(const std::vector<int>& hosts);
+  // Slot/flag layout shared by Init and Reconfigure (ring + naive + the
+  // hierarchical tree/leader-ring areas and the in-network round flags).
+  void ComputeLayout(int n);
+  // Multi-level engine routing: cross-rack stripes funnel through one
+  // oversubscribed uplink, so the per-rank engines cap their stripe fan-out
+  // to 1 lane for cross-rack destinations (hierarchical/in-network only).
+  void InstallLaneLimitResolver();
+  // False (and fails the op with kDeadlineExceeded naming |where|) when the
+  // op's deadline has passed at a level handoff.
+  bool CheckDeadline(const std::shared_ptr<Op>& op, const char* where);
+  // Registers flag (rank, index) with the protocol checker and records it on
+  // the op for teardown (Finish/Fail forget every declared flag).
+  void DeclareFlag(const std::shared_ptr<Op>& op, int rank, int flag_index,
+                   const char* kind);
+  // Retires every flag DeclareFlag registered for |op| from the checker.
+  void ForgetDeclaredFlags(const std::shared_ptr<Op>& op);
 
   const std::string& RankTrack(int rank) const;
 
@@ -239,6 +290,25 @@ class CollectiveGroup {
   int flag_capacity_ = 0;            // Flag bytes per rank.
   bool exchanged_ = false;
   int pending_exchanges_ = 0;
+
+  // Hierarchical schedule state (rebuilt by Init/Reconfigure; empty unless
+  // the resolved algorithm needs it).
+  std::vector<std::vector<int>> racks_;  // Rack ordinal -> ranks, leader first.
+  std::vector<int> rank_rack_;           // Rank -> rack ordinal.
+  std::vector<int> rank_pos_;            // Rank -> position in rack (0=leader).
+  int tree_rounds_ = 0;                  // ceil(log2(max rack size)).
+  uint64_t lane_cap_elements_ = 0;       // ceil(max_elements / lanes).
+  uint64_t hier_extra_slot_bytes_ = 0;   // Tree + leader-ring areas per rank.
+  uint64_t hier_tree_slot_offset_ = 0;   // Tree slot (lane, round) area.
+  uint64_t hier_ring_slot_offset_ = 0;   // Leader-ring per-step slot area.
+  uint64_t hier_ring_cap_elements_ = 0;  // Leader-ring per-step slot capacity.
+  int hier_flags_per_lane_ = 0;          // tree_rounds + 2(R-1) + 1.
+
+  // In-network schedule state.
+  uint64_t innet_window_elements_ = 0;  // Switch SRAM window, in floats.
+  int innet_rounds_cap_ = 0;            // Max rounds of any lane.
+
+  std::vector<int> host_to_rank_;  // Fabric host id -> rank, -1 elsewhere.
 
   std::vector<std::unique_ptr<Rank>> ranks_;
   mutable std::vector<std::string> rank_tracks_;

@@ -4,11 +4,15 @@
 // naive_allreduce.cc and broadcast.cc.
 #include <algorithm>
 #include <cstring>
+#include <set>
 #include <unordered_set>
 #include <utility>
 
+#include "src/check/rdma_check.h"
 #include "src/collective/internal.h"
 #include "src/net/fabric.h"
+#include "src/net/switch_reduce.h"
+#include "src/net/topology.h"
 #include "src/sim/trace.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
@@ -33,6 +37,13 @@ constexpr uint64_t kVirtualWindowBytes = 1ull << 40;
 constexpr uint64_t kVirtualSlotOffset = 1ull << 39;
 uint64_t next_virtual_window = 0;
 
+// kAuto picks the in-network schedule only when the whole tensor fits a
+// modest multiple of the switch aggregation window: the serialized
+// window-rounds through one spine engine beat host rings on latency for
+// small tensors but lose to the hierarchical schedule's pipelined
+// bandwidth once tensors grow.
+constexpr uint64_t kAutoInNetworkMaxBytes = 8ull << 20;
+
 }  // namespace
 
 const char* AlgorithmName(Algorithm algorithm) {
@@ -41,6 +52,12 @@ const char* AlgorithmName(Algorithm algorithm) {
       return "ring";
     case Algorithm::kNaiveGather:
       return "naive-gather";
+    case Algorithm::kHierarchical:
+      return "hierarchical";
+    case Algorithm::kInNetwork:
+      return "in-network";
+    case Algorithm::kAuto:
+      return "auto";
   }
   return "unknown";
 }
@@ -90,10 +107,37 @@ StatusOr<std::unique_ptr<CollectiveGroup>> CollectiveGroup::Create(
   return group;
 }
 
-Status CollectiveGroup::Init(const std::vector<int>& hosts) {
+void CollectiveGroup::BuildRacks(const std::vector<int>& hosts) {
   const int n = static_cast<int>(hosts.size());
+  net::Topology* topo = directory_->rdma_fabric()->fabric()->topology();
+  racks_.clear();
+  rank_rack_.assign(n, 0);
+  rank_pos_.assign(n, 0);
+  // Group by rack id ascending, members in rank order; the first member of a
+  // rack is its leader (so after Reconfigure drops dead ranks, the first
+  // survivor is the leader automatically — re-election is positional).
+  std::vector<int> rack_ids;
+  for (int r = 0; r < n; ++r) {
+    const int rid = topo != nullptr ? topo->rack_of(hosts[r]) : 0;
+    auto it = std::lower_bound(rack_ids.begin(), rack_ids.end(), rid);
+    const size_t pos = static_cast<size_t>(it - rack_ids.begin());
+    if (it == rack_ids.end() || *it != rid) {
+      rack_ids.insert(it, rid);
+      racks_.insert(racks_.begin() + static_cast<long>(pos), std::vector<int>());
+      // Earlier inserts shift later rack ordinals; recompute below.
+    }
+    racks_[pos].push_back(r);
+  }
+  for (int rk = 0; rk < static_cast<int>(racks_.size()); ++rk) {
+    for (int p = 0; p < static_cast<int>(racks_[rk].size()); ++p) {
+      rank_rack_[racks_[rk][p]] = rk;
+      rank_pos_[racks_[rk][p]] = p;
+    }
+  }
+}
+
+void CollectiveGroup::ComputeLayout(int n) {
   const int lanes = options_.pipeline_depth;
-  const uint64_t data_bytes = max_elements_ * sizeof(float);
 
   // Ring slot capacity is sized for the single-lane case (standalone
   // reduce-scatter / all-gather run unpipelined so chunk c matches the public
@@ -103,11 +147,102 @@ Status CollectiveGroup::Init(const std::vector<int>& hosts) {
                      sizeof(float);
   naive_slot_offset_ = ring_slot_bytes_;
 
+  // Hierarchical slot areas live after the ring slots (exclusive with the
+  // naive root parking — the algorithms cannot coexist in one group): one
+  // full-lane tree slot per (lane, round) and one leader-ring slot per
+  // (lane, step). Every rank gets the same layout; non-leaders simply never
+  // see their ring slots written.
+  tree_rounds_ = 0;
+  lane_cap_elements_ = 0;
+  hier_extra_slot_bytes_ = 0;
+  hier_tree_slot_offset_ = 0;
+  hier_ring_slot_offset_ = 0;
+  hier_ring_cap_elements_ = 0;
+  hier_flags_per_lane_ = 0;
+  int hier_flags = 0;
+  if (options_.algorithm == Algorithm::kHierarchical) {
+    int max_rack = 1;
+    for (const auto& members : racks_) {
+      max_rack = std::max(max_rack, static_cast<int>(members.size()));
+    }
+    while ((1 << tree_rounds_) < max_rack) ++tree_rounds_;
+    const int num_racks = std::max(1, static_cast<int>(racks_.size()));
+    lane_cap_elements_ = CeilDiv(max_elements_, static_cast<uint64_t>(lanes));
+    hier_ring_cap_elements_ = CeilDiv(lane_cap_elements_, static_cast<uint64_t>(num_racks));
+    hier_tree_slot_offset_ = ring_slot_bytes_;
+    const uint64_t tree_bytes = static_cast<uint64_t>(lanes) * tree_rounds_ *
+                                lane_cap_elements_ * sizeof(float);
+    hier_ring_slot_offset_ = hier_tree_slot_offset_ + tree_bytes;
+    const uint64_t ring_bytes = static_cast<uint64_t>(lanes) *
+                                (num_racks > 1 ? num_racks - 1 : 0) *
+                                hier_ring_cap_elements_ * sizeof(float);
+    hier_extra_slot_bytes_ = tree_bytes + ring_bytes;
+    hier_flags_per_lane_ = tree_rounds_ + 2 * (num_racks > 1 ? num_racks - 1 : 0) + 1;
+    hier_flags = lanes * hier_flags_per_lane_;
+  }
+
+  // In-network rounds: one flag per (lane, aggregation window).
+  innet_window_elements_ = 0;
+  innet_rounds_cap_ = 0;
+  int innet_flags = 0;
+  if (options_.algorithm == Algorithm::kInNetwork) {
+    net::Topology* topo = directory_->rdma_fabric()->fabric()->topology();
+    CHECK(topo != nullptr);
+    lane_cap_elements_ = CeilDiv(max_elements_, static_cast<uint64_t>(lanes));
+    innet_window_elements_ =
+        std::max<uint64_t>(1, topo->config().switch_reduce_window_bytes / sizeof(float));
+    innet_rounds_cap_ =
+        static_cast<int>(CeilDiv(lane_cap_elements_, innet_window_elements_));
+    innet_flags = lanes * innet_rounds_cap_;
+  }
+
   // One flag byte per expected arrival of the busiest op shape, rounded up so
   // the block and its trailing constant source byte share one registration.
   const int ring_flags = lanes * (n > 1 ? 2 * (n - 1) : 1);
-  flag_capacity_ = std::max({ring_flags, n, options_.broadcast_segments, 1});
+  flag_capacity_ =
+      std::max({ring_flags, n, options_.broadcast_segments, 1, hier_flags, innet_flags});
   flag_capacity_ = static_cast<int>(CeilDiv(flag_capacity_, 64) * 64);
+}
+
+void CollectiveGroup::InstallLaneLimitResolver() {
+  if (options_.algorithm != Algorithm::kHierarchical &&
+      options_.algorithm != Algorithm::kInNetwork) {
+    return;
+  }
+  net::Topology* topo = directory_->rdma_fabric()->fabric()->topology();
+  if (topo == nullptr) return;
+  for (const auto& rank : ranks_) {
+    const int my_rack = topo->rack_of(rank->endpoint.host_id);
+    rank->engine->set_lane_limit_resolver([topo, my_rack](const Endpoint& remote) {
+      // Cross-rack stripes all funnel through the same oversubscribed rack
+      // uplink: fanning them across QP lanes buys no bandwidth and only
+      // multiplies WQE-engine work, so cap to a single lane. Intra-rack
+      // writes keep the full stripe fan-out.
+      return topo->rack_of(remote.host_id) == my_rack ? 0 : 1;
+    });
+  }
+}
+
+Status CollectiveGroup::Init(const std::vector<int>& hosts) {
+  const int n = static_cast<int>(hosts.size());
+  const uint64_t data_bytes = max_elements_ * sizeof(float);
+
+  BuildRacks(hosts);
+  net::Fabric* fabric = directory_->rdma_fabric()->fabric();
+  if (options_.algorithm == Algorithm::kAuto) {
+    if (racks_.size() < 2) {
+      options_.algorithm = Algorithm::kRing;
+    } else if (fabric->switch_reduce() != nullptr && data_bytes <= kAutoInNetworkMaxBytes) {
+      options_.algorithm = Algorithm::kInNetwork;
+    } else {
+      options_.algorithm = Algorithm::kHierarchical;
+    }
+  }
+  if (options_.algorithm == Algorithm::kInNetwork && fabric->switch_reduce() == nullptr) {
+    return InvalidArgument(
+        "in-network collective requires a hierarchical topology with switch_reduce");
+  }
+  ComputeLayout(n);
 
   const int num_qps = std::clamp(options_.pipeline_depth, 1, 4);
   for (int i = 0; i < n; ++i) {
@@ -128,7 +263,7 @@ Status CollectiveGroup::Init(const std::vector<int>& hosts) {
     std::memset(rank->flag_region.data(), 0, flag_capacity_ + 1);
     rank->flag_region.data()[flag_capacity_] = 1;  // Constant flag source.
 
-    uint64_t slot_bytes = ring_slot_bytes_;
+    uint64_t slot_bytes = ring_slot_bytes_ + hier_extra_slot_bytes_;
     if (options_.algorithm == Algorithm::kNaiveGather && i == 0 && n > 1) {
       slot_bytes += static_cast<uint64_t>(n - 1) * data_bytes;  // Gather parking.
     }
@@ -187,6 +322,10 @@ Status CollectiveGroup::Init(const std::vector<int>& hosts) {
     ranks_.push_back(std::move(rank));
   }
 
+  host_to_rank_.assign(fabric->num_hosts(), -1);
+  for (int i = 0; i < n; ++i) host_to_rank_[hosts[i]] = i;
+  InstallLaneLimitResolver();
+
   rank_tracks_.resize(n);
   return OkStatus();
 }
@@ -237,10 +376,19 @@ void CollectiveGroup::AllReduce(uint64_t count, DoneCallback done) {
   op->count = count;
   op->done = std::move(done);
   Begin(op, [this, op] {
-    if (options_.algorithm == Algorithm::kNaiveGather) {
-      StartNaiveGather(op);
-    } else {
-      StartRing(op, /*do_reduce_scatter=*/true, /*do_all_gather=*/true);
+    switch (options_.algorithm) {
+      case Algorithm::kNaiveGather:
+        StartNaiveGather(op);
+        break;
+      case Algorithm::kHierarchical:
+        StartHierarchical(op);
+        break;
+      case Algorithm::kInNetwork:
+        StartInNetwork(op);
+        break;
+      default:
+        StartRing(op, /*do_reduce_scatter=*/true, /*do_all_gather=*/true);
+        break;
     }
   });
 }
@@ -301,6 +449,7 @@ void CollectiveGroup::Begin(std::shared_ptr<Op> op, std::function<void()> start)
     std::memset(rank->flags(), 0, flag_capacity_);
   }
   if (options_.op_timeout_ns > 0) {
+    op->deadline_ns = sim->Now() + options_.op_timeout_ns;
     sim->ScheduleAfter(options_.op_timeout_ns, [this, op] {
       if (op->finished) return;
       Fail(op, DeadlineExceeded(StrCat("collective did not complete within ",
@@ -330,16 +479,41 @@ std::vector<std::pair<int, int>> CollectiveGroup::RequiredAddressPairs() const {
   const int n = size();
   std::vector<std::pair<int, int>> pairs;
   if (n <= 1) return pairs;
+  // Deduplicated, deterministically ordered: hierarchical tree edges can
+  // coincide with ring-successor edges.
+  std::set<std::pair<int, int>> set;
   // Ring successors: the ring reduce-scatter/all-gather schedules and the
   // chained broadcast (any root) only ever write rank -> (rank + 1) % n.
-  for (int r = 0; r < n; ++r) pairs.emplace_back(r, (r + 1) % n);
+  for (int r = 0; r < n; ++r) set.emplace(r, (r + 1) % n);
   if (options_.algorithm == Algorithm::kNaiveGather) {
-    // Star to and from the gather root. (n-1, 0) is already a ring edge.
+    // Star to and from the gather root.
     for (int r = 1; r < n; ++r) {
-      pairs.emplace_back(0, r);
-      if (r + 1 != n) pairs.emplace_back(r, 0);
+      set.emplace(0, r);
+      set.emplace(r, 0);
     }
   }
+  if (options_.algorithm == Algorithm::kHierarchical) {
+    // Binomial tree edges within each rack, both directions (child -> parent
+    // for the reduce, parent -> child for the broadcast), plus the leader
+    // ring across racks. O(n) total: every non-leader has exactly one parent.
+    const int num_racks = static_cast<int>(racks_.size());
+    for (int rk = 0; rk < num_racks; ++rk) {
+      const std::vector<int>& members = racks_[rk];
+      for (int p = 1; p < static_cast<int>(members.size()); ++p) {
+        int j = 0;
+        while (((p >> j) & 1) == 0) ++j;
+        const int parent = p - (1 << j);
+        set.emplace(members[p], members[parent]);
+        set.emplace(members[parent], members[p]);
+      }
+    }
+    if (num_racks > 1) {
+      for (int rk = 0; rk < num_racks; ++rk) {
+        set.emplace(racks_[rk][0], racks_[(rk + 1) % num_racks][0]);
+      }
+    }
+  }
+  pairs.assign(set.begin(), set.end());
   return pairs;
 }
 
@@ -412,6 +586,7 @@ void CollectiveGroup::Finish(const std::shared_ptr<Op>& op) {
       break;
   }
   sim::TraceSpan("collective", StrCat(name, " ", op->count, " elems"), op->start_ns, now);
+  ForgetDeclaredFlags(op);
   op_.reset();
   if (op->done) op->done(OkStatus());
 }
@@ -420,9 +595,44 @@ void CollectiveGroup::Fail(const std::shared_ptr<Op>& op, const Status& status) 
   if (op->finished) return;
   op->finished = true;
   op->status = status;
+  ForgetDeclaredFlags(op);
   op_.reset();
   sim::TraceInstant("collective", StrCat("failed: ", status.message()), simulator()->Now());
   if (op->done) op->done(status);
+}
+
+// Retires the op's flag declarations from the protocol checker so the shadow
+// state never outlives the op (the flag block itself is reused by the next
+// op after a memset).
+void CollectiveGroup::ForgetDeclaredFlags(const std::shared_ptr<Op>& op) {
+  for (const auto& [r, f] : op->declared_flags) {
+    check::OnFlagForgotten(ranks_[r]->endpoint.host_id, ranks_[r]->flags() + f);
+  }
+  op->declared_flags.clear();
+}
+
+// Declares flag |flag_index| of |rank| to the protocol checker (no-op when no
+// checker is installed) and records it on the op for Finish/Fail cleanup.
+void CollectiveGroup::DeclareFlag(const std::shared_ptr<Op>& op, int rank, int flag_index,
+                                  const char* kind) {
+  if (check::RdmaCheck::Current() == nullptr) return;
+  Rank* r = ranks_[rank].get();
+  check::OnFlagLocation(r->endpoint.host_id, r->flags() + flag_index,
+                        StrCat(options_.trace_prefix, " ", kind, " r", rank, " f", flag_index));
+  op->declared_flags.emplace_back(rank, flag_index);
+}
+
+// Re-checks the op's virtual-time budget at a level handoff. Returns false
+// (after failing the op with a message naming the handoff) when the deadline
+// has passed; the Begin backstop timer would eventually fire too, but this
+// surfaces *where* the budget was blown.
+bool CollectiveGroup::CheckDeadline(const std::shared_ptr<Op>& op, const char* where) {
+  if (op->finished) return false;
+  if (op->deadline_ns > 0 && simulator()->Now() >= op->deadline_ns) {
+    Fail(op, DeadlineExceeded(StrCat("collective deadline exceeded at ", where)));
+    return false;
+  }
+  return true;
 }
 
 Status CollectiveGroup::ResetTransport() {
@@ -471,19 +681,16 @@ Status CollectiveGroup::Reconfigure(const std::vector<int>& alive_hosts) {
   ranks_ = std::move(survivors);
 
   const int n = size();
-  const int lanes = options_.pipeline_depth;
   const uint64_t data_bytes = max_elements_ * sizeof(float);
 
-  // Same layout math as Init, for the smaller ring. chunk_cap grows as n
-  // shrinks (ceil), so the slot area can be *larger* per rank than before —
-  // slots and flags are reallocated; data buffers persist.
-  chunk_cap_elements_ = CeilDiv(max_elements_, static_cast<uint64_t>(n));
-  ring_slot_bytes_ = static_cast<uint64_t>(lanes) * (n > 1 ? n - 1 : 0) * chunk_cap_elements_ *
-                     sizeof(float);
-  naive_slot_offset_ = ring_slot_bytes_;
-  const int ring_flags = lanes * (n > 1 ? 2 * (n - 1) : 1);
-  flag_capacity_ = std::max({ring_flags, n, options_.broadcast_segments, 1});
-  flag_capacity_ = static_cast<int>(CeilDiv(flag_capacity_, 64) * 64);
+  // Same layout math as Init, for the smaller membership: re-derive the rack
+  // grouping (a whole rack may have died; the hierarchical leader of each
+  // surviving rack is its first surviving member by position) and rerun the
+  // shared layout. chunk_cap grows as n shrinks (ceil), so the slot area can
+  // be *larger* per rank than before — slots and flags are reallocated; data
+  // buffers persist.
+  BuildRacks(hosts());
+  ComputeLayout(n);
 
   for (int i = 0; i < n; ++i) {
     Rank* rank = ranks_[i].get();
@@ -494,7 +701,7 @@ Status CollectiveGroup::Reconfigure(const std::vector<int>& alive_hosts) {
     std::memset(rank->flag_region.data(), 0, flag_capacity_ + 1);
     rank->flag_region.data()[flag_capacity_] = 1;
 
-    uint64_t slot_bytes = ring_slot_bytes_;
+    uint64_t slot_bytes = ring_slot_bytes_ + hier_extra_slot_bytes_;
     if (options_.algorithm == Algorithm::kNaiveGather && i == 0 && n > 1) {
       slot_bytes += static_cast<uint64_t>(n - 1) * data_bytes;
     }
@@ -553,6 +760,10 @@ Status CollectiveGroup::Reconfigure(const std::vector<int>& alive_hosts) {
           return out;
         });
   }
+
+  host_to_rank_.assign(directory_->rdma_fabric()->fabric()->num_hosts(), -1);
+  for (int i = 0; i < n; ++i) host_to_rank_[ranks_[i]->endpoint.host_id] = i;
+  InstallLaneLimitResolver();
 
   rank_tracks_.assign(n, std::string());
   exchanged_ = false;  // The next op re-runs the ring-buffer address exchange.
@@ -644,6 +855,8 @@ void CollectiveGroup::PostChunk(const std::shared_ptr<Op>& op, int src_rank, int
                         reinterpret_cast<const void*>(local_addr), bytes);
           }
           dst->flags()[flag_index] = 1;
+          check::OnFlagSetLocally(dst->endpoint.host_id, dst->flags() + flag_index,
+                                  dst->device->simulator()->Now());
         });
       });
 }
@@ -671,6 +884,8 @@ void CollectiveGroup::PollWaiter(std::shared_ptr<Op> op, std::shared_ptr<Waiter>
   if (op->finished) return;
   Rank* rank = ranks_[waiter->rank].get();
   if (rank->flags()[waiter->flag_base + waiter->next] != 0) {
+    check::OnFlagTrusted(rank->endpoint.host_id,
+                         rank->flags() + waiter->flag_base + waiter->next, simulator()->Now());
     waiter->backoff_ns = 0;
     const int index = waiter->next;
     auto resume = [this, op, waiter] {

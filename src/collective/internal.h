@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/collective/collective.h"
@@ -90,6 +91,12 @@ struct CollectiveGroup::Op {
   int root = 0;        // Broadcast only.
   DoneCallback done;
   int64_t start_ns = 0;
+  // Absolute virtual-time budget (0 = none). Begin arms a backstop timer at
+  // this instant; the multi-level schedules additionally recheck it at every
+  // level handoff (tree -> spine ring -> broadcast, in-network round issue)
+  // so a blown budget fails with a message naming the level instead of the
+  // generic timer text.
+  int64_t deadline_ns = 0;
 
   bool finished = false;
   Status status;  // First failure, if any.
@@ -106,6 +113,14 @@ struct CollectiveGroup::Op {
   // (arrivals reduce serially on one core).
   int64_t root_cpu_free_ns = 0;
   int naive_reduced = 0;
+
+  // Flags declared to the protocol checker for this op, as (rank, index)
+  // pairs; Finish/Fail forget them so the shadow state never outlives the op.
+  std::vector<std::pair<int, int>> declared_flags;
+
+  // In-network staging ("switch SRAM" shadow, materialize mode only):
+  // [lane][rack partial 0..R-1, global R][window] floats.
+  std::vector<float> innet_buf;
 };
 
 // A sequential flag poller: one per (rank, lane) for the ring, one per

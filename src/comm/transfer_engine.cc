@@ -27,6 +27,15 @@ int TransferEngine::LaneCount() const {
   return std::min(options_.stripe_lanes, device_lanes);
 }
 
+int TransferEngine::LaneCountFor(const Endpoint& remote) const {
+  int lanes = LaneCount();
+  if (lane_limit_resolver_) {
+    const int cap = lane_limit_resolver_(remote);
+    if (cap > 0) lanes = std::min(lanes, cap);
+  }
+  return std::max(lanes, 1);
+}
+
 StatusOr<device::RdmaChannel*> TransferEngine::Channel(const Endpoint& remote, int lane) {
   const uint64_t pool_gen = device_->qp_pool()->generation();
   if (pool_gen != pool_generation_) {
@@ -58,7 +67,7 @@ TransferEngine::Route TransferEngine::WriteWithFlag(const Endpoint& remote,
   // disabled (rate 0 = infinite) there is nothing to parallelize: the stripes
   // would only fair-share the wire with unrelated transfers and delay this
   // write's own flag, so the route is also gated on a finite engine rate.
-  if (options_.enable_striping && LaneCount() > 1 &&
+  if (options_.enable_striping && LaneCountFor(remote) > 1 &&
       payload.bytes >= options_.stripe_threshold_bytes &&
       device_->nic()->cost().rdma_qp_engine_bytes_per_sec > 0) {
     PostStriped(remote, payload, flag, lane_hint, std::move(on_done));
@@ -135,7 +144,7 @@ TransferEngine::Route TransferEngine::PostDirect(const Endpoint& remote,
 void TransferEngine::PostStriped(const Endpoint& remote, const WriteDesc& payload,
                                  const WriteDesc& flag, int lane_hint,
                                  device::MemcpyCallback on_done) {
-  const int lanes = LaneCount();
+  const int lanes = LaneCountFor(remote);
   // MTU-aligned contiguous stripes: each lane gets one disjoint range, so no
   // two in-flight writes overlap (clean under the remote-race detector).
   const uint64_t mtu = std::max<uint64_t>(1, device_->cost().rdma_mtu_bytes);

@@ -39,6 +39,7 @@
 #define RDMADL_SRC_COMM_TRANSFER_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <utility>
@@ -151,6 +152,17 @@ class TransferEngine {
   device::RdmaDevice* device() const { return device_; }
   int mr_cache_size() const { return static_cast<int>(mr_cache_.size()); }
 
+  // Multi-level engine routing: caps the stripe fan-out per destination.
+  // With a hierarchical fabric, stripes toward a cross-rack peer all funnel
+  // through the same oversubscribed rack uplink, so spreading them over many
+  // QP lanes buys no bandwidth and only multiplies WQE-engine work; the
+  // topology-aware collectives install a resolver that returns 1 for
+  // cross-rack destinations and the full lane count within a rack. Returns
+  // <= 0 to mean "no cap". Null (the default) leaves every route untouched.
+  void set_lane_limit_resolver(std::function<int(const Endpoint&)> resolver) {
+    lane_limit_resolver_ = std::move(resolver);
+  }
+
  private:
   struct PendingWrite {
     WriteDesc payload;
@@ -180,6 +192,8 @@ class TransferEngine {
   void Flush(const Endpoint& remote, PeerQueue* queue);
   void FailAsync(device::MemcpyCallback on_done, Status status);
   int LaneCount() const;
+  // LaneCount clamped by the lane-limit resolver for |remote| (never < 1).
+  int LaneCountFor(const Endpoint& remote) const;
 
   device::RdmaDevice* device_;
   TransferEngineOptions options_;
@@ -195,6 +209,7 @@ class TransferEngine {
 
   tensor::ExtentLruCache<CachedMr> mr_cache_;
   int64_t epoch_ = 0;
+  std::function<int(const Endpoint&)> lane_limit_resolver_;
 };
 
 }  // namespace comm

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/check/rdma_check.h"
+#include "src/net/switch_reduce.h"
 #include "src/net/topology.h"
 #include "src/sim/trace.h"
 #include "src/util/strings.h"
@@ -107,6 +108,9 @@ Fabric::Fabric(sim::Simulator* simulator, const CostModel& cost, int num_hosts,
   CHECK_GT(num_hosts, 0);
   if (topology.hierarchical()) {
     topology_ = std::make_unique<Topology>(topology, num_hosts);
+    if (topology.switch_reduce) {
+      switch_reduce_ = std::make_unique<SwitchReduceStage>(this, topology_.get());
+    }
   }
   hosts_.reserve(num_hosts);
   for (int i = 0; i < num_hosts; ++i) {

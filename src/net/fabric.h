@@ -28,6 +28,7 @@ namespace net {
 
 struct TopologyConfig;
 class Topology;
+class SwitchReduceStage;
 
 namespace internal {
 struct TransferProgress;
@@ -173,6 +174,8 @@ class Fabric {
 
   // Null for flat fabrics.
   Topology* topology() const { return topology_.get(); }
+  // Null unless the topology is hierarchical with switch_reduce enabled.
+  SwitchReduceStage* switch_reduce() const { return switch_reduce_.get(); }
 
  private:
   friend struct internal::TransferProgress;
@@ -188,6 +191,7 @@ class Fabric {
   CostModel cost_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::unique_ptr<Topology> topology_;  // Null for flat fabrics.
+  std::unique_ptr<SwitchReduceStage> switch_reduce_;  // Null unless enabled.
   sim::FaultInjector* fault_ = nullptr;  // Not owned.
   TransferStats rdma_stats_;
   TransferStats tcp_stats_;

@@ -1,0 +1,91 @@
+// NetReduce-style in-network reduction stage.
+//
+// When TopologyConfig::switch_reduce is set on a hierarchical fabric, the
+// ToR switches carry streaming reduction engines and the spine carries an
+// aggregation engine. One AllReduceChunk call models a single aggregation
+// window flowing through the fabric:
+//
+//   host egress --> rack uplink --> ToR engine (folds the rack's streams)
+//     --> rack uplink --> spine engine (folds the rack partials)
+//     --> rack downlink --> host ingress
+//
+// The stage is a pure *timing* model: it decides WHEN each phase completes
+// and invokes caller-supplied callbacks at those virtual times; the caller
+// (the collective layer) performs the arithmetic on its own buffers inside
+// the callbacks. This keeps the fabric data-agnostic — exactly like
+// Fabric::Transfer — while the shared links (rack uplinks/downlinks) remain
+// ordinary net::Link serialization points, so in-network traffic contends
+// with host-side transfers crossing the same rack.
+//
+// The switch fabric is modeled as a lossless credit-based domain (real
+// in-network reduction deployments run on PFC-enabled lossless fabrics):
+// segment drops and latency spikes from the fault injector do not apply, but
+// fail-stop host crashes do — a window with a dead contributor fails with
+// kUnavailable carrying the dead host, and link down windows still delay
+// reservations on the shared links.
+#ifndef RDMADL_SRC_NET_SWITCH_REDUCE_H_
+#define RDMADL_SRC_NET_SWITCH_REDUCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace rdmadl {
+namespace net {
+
+class Fabric;
+class Topology;
+
+class SwitchReduceStage {
+ public:
+  // |fabric| and |topology| must outlive the stage; both are owned by the
+  // Fabric that constructs it.
+  SwitchReduceStage(Fabric* fabric, Topology* topology);
+
+  // Runs one aggregation window of |bytes| contributed by every host in
+  // |hosts| (each contributes the same |bytes|; the window must fit the
+  // switch SRAM, i.e. bytes <= TopologyConfig::switch_reduce_window_bytes).
+  //
+  // Callbacks fire in virtual-time order:
+  //   rack_partial(rack_ordinal) — the ToR engine of the rack_ordinal-th
+  //       participating rack (ascending rack id) finished folding its
+  //       members' streams. Fired once per participating rack.
+  //   aggregated()               — the spine engine finished folding the rack
+  //       partials (fires at the last rack_partial time when only one rack
+  //       participates: there is nothing to aggregate across).
+  //   deliver(host)              — the reduced window landed in |host|'s
+  //       memory. Fired once per host, each as its downlink+ingress frees.
+  //   complete(status)           — all deliveries done (OkStatus), or a
+  //       contributor was dead at issue time (kUnavailable with the failed
+  //       host attached; no other callback fires in that case).
+  //
+  // Deterministic: consumes no randomness, only Link::Reserve bookkeeping
+  // plus per-engine serialization state held by the stage.
+  void AllReduceChunk(const std::vector<int>& hosts, uint64_t bytes,
+                      std::function<void(int rack_ordinal)> rack_partial,
+                      std::function<void()> aggregated,
+                      std::function<void(int host)> deliver,
+                      std::function<void(Status)> complete);
+
+  // Serialized streaming cost of folding |bytes| through one engine.
+  int64_t EngineAluNs(uint64_t bytes) const;
+
+  uint64_t windows() const { return windows_; }
+
+ private:
+  Fabric* fabric_;      // Not owned.
+  Topology* topology_;  // Not owned.
+  // Next-free times of the per-ToR reduction engines and the spine
+  // aggregation engine: each is a serialization point exactly like a Link,
+  // but without down windows (engines sit inside the switch ASIC).
+  std::vector<int64_t> rack_engine_free_;
+  int64_t spine_engine_free_ = 0;
+  uint64_t windows_ = 0;
+};
+
+}  // namespace net
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_NET_SWITCH_REDUCE_H_

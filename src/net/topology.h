@@ -41,6 +41,25 @@ struct TopologyConfig {
   // rack, i.e. a spine whose aggregate capacity grows with the cluster.
   int spine_links = 0;
 
+  // ---- In-network (NetReduce-style) reduction stage --------------------
+  // When true, the ToR switches carry streaming reduction engines and the
+  // spine carries an aggregation engine: hosts stream contributions up their
+  // rack, each ToR folds its rack's streams into one partial, partials cross
+  // the rack uplinks to the spine aggregator, and the global result streams
+  // back down every rack. Fabric constructs a SwitchReduceStage; the
+  // collective layer drives it (Algorithm::kInNetwork).
+  bool switch_reduce = false;
+  // Streaming ALU rate of one reduction engine (per ToR, and the spine
+  // aggregator). Tofino-class switches reduce at line rate; the default sits
+  // above host reduce_bytes_per_sec so the switch is never the bottleneck.
+  double switch_reduce_bytes_per_sec = 50.0e9;
+  // Per-round SRAM aggregation window: one in-network round reduces at most
+  // this many bytes (larger tensors are chunked into sequential rounds by
+  // the caller, modeling the switch's limited on-chip aggregation memory).
+  uint64_t switch_reduce_window_bytes = 256 * 1024;
+  // Fixed per-round latency of one reduction engine (pipeline fill).
+  int64_t switch_engine_latency_ns = 150;
+
   bool hierarchical() const { return hosts_per_rack > 0; }
 };
 

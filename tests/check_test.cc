@@ -350,6 +350,81 @@ TEST(RdmaCheckHookTest, FlagReadAfterCoveringSegmentIsClean) {
   EXPECT_EQ(checker.count(DiagKind::kPrematureFlagRead), 1) << checker.Report();
 }
 
+// ---------------------------------------------------------------------------
+// ISSUE 7 paths: the multi-level collective schedules add fabric-sourced
+// fanout transfers (in-network delivery, src = -1), per-op declared flag
+// sets, and deep slot layouts. The checker must keep catching violations on
+// each of them — these feed the violating sequences directly, mirroring how
+// the hierarchical/in-network code drives the hooks.
+// ---------------------------------------------------------------------------
+
+TEST(RdmaCheckHookTest, InNetworkFanoutDeliveryGapIsDetected) {
+  RdmaCheck checker;
+  // Switch-engine delivery: the reduced window leaves a ToR engine, not a
+  // peer host (src_host = -1, as SwitchReduceStage posts it).
+  const uint64_t id = checker.TransferStarted(-1, 3, 2048, /*now_ns=*/10);
+  checker.TransferSegment(id, 1024, 1024, 20);  // First segment not at 0.
+  ASSERT_EQ(checker.count(DiagKind::kNonAscendingSegment), 1) << checker.Report();
+  checker.TransferFinished(id);
+}
+
+TEST(RdmaCheckHookTest, PrematureTrustOfDeclaredHierarchicalFlagIsDetected) {
+  RdmaCheck checker;
+  uint8_t flag = 0;
+  // The hierarchical schedule declares every tree/ring/broadcast flag it
+  // will poll up front; trusting one before its write landed is the same
+  // §3.2 bug on the new layout.
+  checker.FlagLocation(2, &flag, "allreduce h-tree r5 f2");
+  checker.FlagTrusted(2, &flag, /*now_ns=*/40);
+  const auto& diags = checker.diagnostics();
+  ASSERT_EQ(diags.size(), 1u) << checker.Report();
+  EXPECT_EQ(diags[0].kind, DiagKind::kPrematureFlagRead);
+  EXPECT_NE(diags[0].message.find("h-tree r5 f2"), std::string::npos);
+}
+
+TEST(RdmaCheckHookTest, ForgottenFlagIsNoLongerTracked) {
+  RdmaCheck checker;
+  uint8_t payload[32] = {0};
+  uint8_t* flag = &payload[31];
+  checker.FlagLocation(4, flag, "allreduce h-ring r0 f7");
+  checker.WritePosted(1, 4, 6, 11, reinterpret_cast<uint64_t>(payload), 32, 88, 10);
+  checker.WriteSegment(1, 6, 11, 0, 32, 20);
+  checker.WriteFinished(1, 6, 11, 30);
+  checker.FlagTrusted(4, flag, 40);
+  EXPECT_EQ(checker.diagnostics().size(), 0u) << checker.Report();
+  // Op teardown forgets the declaration; the address can be reused by the
+  // next op's layout without the stale landed/cleared state misfiring.
+  checker.FlagForgotten(4, flag);
+  checker.FlagTrusted(4, flag, 50);
+  EXPECT_EQ(checker.diagnostics().size(), 0u) << checker.Report();
+}
+
+TEST(RdmaCheckHookTest, OverlappingTreeSlotWritesAreARemoteRace) {
+  RdmaCheck checker;
+  // Two children of one binomial-tree parent writing into the same staging
+  // slot concurrently — the bug class a double-booked hierarchical slot
+  // layout would produce. Different source QPs, overlapping target range,
+  // both in flight: no happens-before edge.
+  checker.WritePosted(5, 4, /*qp_num=*/2, /*wr_id=*/1, /*remote_addr=*/0x8000,
+                      /*length=*/1024, /*rkey=*/7, /*now_ns=*/10);
+  checker.WritePosted(6, 4, /*qp_num=*/3, /*wr_id=*/1, /*remote_addr=*/0x8200,
+                      /*length=*/1024, /*rkey=*/7, /*now_ns=*/15);
+  ASSERT_EQ(checker.count(DiagKind::kRemoteRace), 1) << checker.Report();
+  checker.WriteFinished(5, 2, 1, 20);
+  checker.WriteFinished(6, 3, 1, 25);
+
+  // Disjoint slots — the layout the schedule actually computes — are clean,
+  // as is reuse of the first range after its write completed (the wire
+  // completion is the happens-before edge).
+  checker.WritePosted(5, 4, 2, 2, 0x9000, 1024, 7, 30);
+  checker.WritePosted(6, 4, 3, 2, 0x9400, 1024, 7, 35);
+  checker.WriteFinished(5, 2, 2, 40);
+  checker.WritePosted(7, 4, 9, 1, 0x9000, 1024, 7, 45);
+  checker.WriteFinished(6, 3, 2, 50);
+  checker.WriteFinished(7, 9, 1, 55);
+  EXPECT_EQ(checker.count(DiagKind::kRemoteRace), 1) << checker.Report();
+}
+
 TEST(RdmaCheckHookTest, LeakedArenaCarveOutIsReportedAtArenaDestruction) {
   RdmaCheck checker;
   std::vector<uint8_t> storage(4096);

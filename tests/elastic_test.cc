@@ -176,6 +176,50 @@ TEST(ElasticTest, AllReduceWorkerCrashShrinksRing) {
 }
 
 // ---------------------------------------------------------------------------
+// Hierarchical all-reduce mode (ISSUE 7): a rack *leader* dies mid-run on a
+// two-rack fabric. Reconfigure must re-elect the next surviving member of
+// that rack as leader (leaders are positional, not sticky) and training
+// completes on the shrunken two-level schedule with the hierarchical
+// algorithm still selected.
+// ---------------------------------------------------------------------------
+
+TEST(ElasticTest, HierarchicalRackLeaderCrashReelectsAndCompletes) {
+  TrainingConfig config = ElasticConfig(/*num_workers=*/6, /*num_ps=*/0);
+  config.mode = train::TrainingMode::kAllReduce;
+  config.collective_algorithm = collective::Algorithm::kHierarchical;
+  config.topology.hosts_per_rack = 3;  // Racks {0,1,2} and {3,4,5}.
+  config.topology.oversubscription = 4.0;
+  TrainingDriver driver(config);
+  ASSERT_TRUE(driver.Initialize().ok());
+  ASSERT_EQ(driver.collective()->size(), 6);
+  ASSERT_EQ(driver.collective()->algorithm(), collective::Algorithm::kHierarchical);
+  // Two racks of three: host 3 leads the second rack.
+  ASSERT_EQ(driver.collective()->racks(),
+            (std::vector<std::vector<int>>{{0, 1, 2}, {3, 4, 5}}));
+
+  // Kill the second rack's leader (not host 0, which coordinates membership).
+  FaultInjector injector(FaultSeedFromEnv(35));
+  injector.CrashHost(3, driver.cluster()->simulator()->Now() + 50'000);
+  driver.cluster()->fabric()->SetFaultInjector(&injector);
+
+  auto report_or = driver.RunElastic(/*steps=*/6);
+  ASSERT_TRUE(report_or.ok()) << report_or.status();
+  const ElasticReport& report = report_or.value();
+
+  EXPECT_EQ(report.completed_steps, 6);
+  EXPECT_EQ(report.removed_hosts, std::vector<int>{3});
+  EXPECT_EQ(driver.collective()->size(), 5);
+  EXPECT_EQ(driver.collective()->hosts(), (std::vector<int>{0, 1, 2, 4, 5}));
+  EXPECT_GE(driver.collective()->stats().reconfigurations, 1);
+  // The survivors regroup into the same racks with host 4 (rank 3) promoted
+  // to rack-1 leader, and the algorithm choice survives the reconfigure.
+  EXPECT_EQ(driver.collective()->algorithm(), collective::Algorithm::kHierarchical);
+  EXPECT_EQ(driver.collective()->racks(),
+            (std::vector<std::vector<int>>{{0, 1, 2}, {3, 4}}));
+  EXPECT_LT(LossAt(report), Profile().initial);
+}
+
+// ---------------------------------------------------------------------------
 // No crash: the elastic loop is a plain training loop (no reconfigurations,
 // no rollbacks) and the sample count is exact.
 // ---------------------------------------------------------------------------

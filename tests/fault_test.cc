@@ -29,6 +29,7 @@
 #include "src/comm/rpc_mechanism.h"
 #include "src/comm/zerocopy_mechanism.h"
 #include "src/models/model_spec.h"
+#include "src/net/topology.h"
 #include "src/sim/fault.h"
 #include "src/sim/trace.h"
 #include "src/train/ps_training.h"
@@ -115,6 +116,8 @@ struct SessionWorld {
 struct World {
   explicit World(int num_hosts)
       : fabric(&simulator, cost, num_hosts), rdma(&fabric), directory(&rdma) {}
+  World(int num_hosts, const net::TopologyConfig& topo)
+      : fabric(&simulator, cost, num_hosts, topo), rdma(&fabric), directory(&rdma) {}
 
   std::unique_ptr<CollectiveGroup> MakeGroup(int n, uint64_t max_elements,
                                              CollectiveOptions options = {}) {
@@ -469,6 +472,152 @@ TEST(ChaosSweepTest, RandomFaultsEitherCompleteExactlyOrFailTyped) {
     }
   }
   EXPECT_TRUE(succeeded) << "seed=" << seed << " never converged in 5 attempts";
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical / in-network chaos (ISSUE 7): the multi-level schedules obey
+// the same contract as the flat ring — transient fabric faults are absorbed
+// with bit-exact results, fail-stop crashes surface as typed errors within
+// the op budget, and nothing ever hangs virtual time.
+// ---------------------------------------------------------------------------
+
+net::TopologyConfig RackTopo(int hosts_per_rack, bool switch_reduce = false) {
+  net::TopologyConfig config;
+  config.hosts_per_rack = hosts_per_rack;
+  config.oversubscription = 4.0;
+  config.switch_reduce = switch_reduce;
+  config.switch_reduce_window_bytes = 1024;  // Many rounds even when small.
+  return config;
+}
+
+// Rack-leader crash: the leader is on the critical path of all three levels
+// (tree root, spine ring member, broadcast source). A dead leader must fail
+// the op typed within the budget, not stall the pollers forever.
+TEST(HierarchicalChaosTest, RackLeaderCrashFailsHierarchicalTypedWithinBudget) {
+  World world(8, RackTopo(4));
+  CollectiveOptions options;
+  options.algorithm = collective::Algorithm::kHierarchical;
+  options.op_timeout_ns = 20'000'000;  // 20 ms budget.
+  auto group = world.MakeGroup(8, 2048, options);
+  FillInputs(group.get(), 2048);
+  ASSERT_TRUE(RunOp(&world, [&](DoneCallback done) {
+                group->AllReduce(2048, std::move(done));
+              }).ok());
+
+  // Host 4 leads the second rack (ranks 4..7).
+  FaultInjector injector(FaultSeedFromEnv(41));
+  injector.CrashHost(4, world.simulator.Now() + 1'000);
+  world.fabric.SetFaultInjector(&injector);
+
+  const int64_t start = world.simulator.Now();
+  FillInputs(group.get(), 2048);
+  const Status failed = RunOp(&world, [&](DoneCallback done) {
+    group->AllReduce(2048, std::move(done));
+  });
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(IsTypedTransportFailure(failed)) << failed;
+  EXPECT_LE(world.simulator.Now(), start + 4 * options.op_timeout_ns);
+}
+
+// Spine-link flap: scheduled down windows on every spine link stall the
+// leader ring's cross-rack steps; reservations queue behind the window, the
+// op completes exactly, and completion moves later by at least the outage.
+// The tensor is sized so every cross-rack ring chunk exceeds the MTU —
+// sub-MTU control messages bypass the shared-hop reservations by design.
+TEST(HierarchicalChaosTest, SpineLinkDownWindowDelaysHierarchicalButSumsStayExact) {
+  const uint64_t count = 262144;  // 1 MB.
+  int64_t baseline_ns = 0;
+  {
+    World world(8, RackTopo(4));
+    CollectiveOptions options;
+    options.algorithm = collective::Algorithm::kHierarchical;
+    auto group = world.MakeGroup(8, count, options);
+    FillInputs(group.get(), count);
+    ASSERT_TRUE(RunOp(&world, [&](DoneCallback done) {
+                  group->AllReduce(count, std::move(done));
+                }).ok());
+    baseline_ns = world.simulator.Now();
+  }
+
+  World world(8, RackTopo(4));
+  net::Topology* topo = world.fabric.topology();
+  ASSERT_NE(topo, nullptr);
+  for (int i = 0; i < topo->num_spine_links(); ++i) {
+    topo->spine_link(i)->AddDownWindow(0, 2 * baseline_ns);
+  }
+  CollectiveOptions options;
+  options.algorithm = collective::Algorithm::kHierarchical;
+  auto group = world.MakeGroup(8, count, options);
+  FillInputs(group.get(), count);
+  ASSERT_TRUE(RunOp(&world, [&](DoneCallback done) {
+                group->AllReduce(count, std::move(done));
+              }).ok());
+  for (int r = 0; r < 8; ++r) {
+    const float* data = group->data(r);
+    for (uint64_t i = 0; i < count; ++i) {
+      ASSERT_EQ(data[i], ExpectedRankSum(8, i)) << "rank=" << r << " i=" << i;
+    }
+  }
+  EXPECT_GT(world.simulator.Now(), 2 * baseline_ns);
+}
+
+// Mid-handoff death: a non-leader that dies after the op started (during the
+// tree -> ring -> broadcast window) poisons a write some poller is waiting
+// on; the transfer refusal must fail the op typed within the budget.
+TEST(HierarchicalChaosTest, MidOpHostDeathFailsHierarchicalTypedWithinBudget) {
+  World world(8, RackTopo(4));
+  CollectiveOptions options;
+  options.algorithm = collective::Algorithm::kHierarchical;
+  options.op_timeout_ns = 20'000'000;
+  auto group = world.MakeGroup(8, 4096, options);
+  FillInputs(group.get(), 4096);
+  ASSERT_TRUE(RunOp(&world, [&](DoneCallback done) {
+                group->AllReduce(4096, std::move(done));
+              }).ok());
+
+  // Host 6 (a mid-tree member of rack 1) dies 20 us into the next op: after
+  // the first tree posts, before the broadcast completes.
+  FaultInjector injector(FaultSeedFromEnv(42));
+  const int64_t start = world.simulator.Now();
+  injector.CrashHost(6, start + 20'000);
+  world.fabric.SetFaultInjector(&injector);
+
+  FillInputs(group.get(), 4096);
+  const Status failed = RunOp(&world, [&](DoneCallback done) {
+    group->AllReduce(4096, std::move(done));
+  });
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(IsTypedTransportFailure(failed)) << failed;
+  EXPECT_LE(world.simulator.Now(), start + 4 * options.op_timeout_ns);
+}
+
+// In-network + fail-stop: the switch stage refuses the window whose
+// contributor is dead, naming the host; the failure is typed and the
+// simulator never hangs between aggregation rounds.
+TEST(HierarchicalChaosTest, ContributorCrashFailsInNetworkTypedNamingHost) {
+  World world(8, RackTopo(4, /*switch_reduce=*/true));
+  CollectiveOptions options;
+  options.algorithm = collective::Algorithm::kInNetwork;
+  options.op_timeout_ns = 50'000'000;
+  auto group = world.MakeGroup(8, 4096, options);
+  FillInputs(group.get(), 4096);
+  ASSERT_TRUE(RunOp(&world, [&](DoneCallback done) {
+                group->AllReduce(4096, std::move(done));
+              }).ok());
+
+  FaultInjector injector(FaultSeedFromEnv(43));
+  const int64_t start = world.simulator.Now();
+  injector.CrashHost(3, start + 10'000);
+  world.fabric.SetFaultInjector(&injector);
+
+  FillInputs(group.get(), 4096);
+  const Status failed = RunOp(&world, [&](DoneCallback done) {
+    group->AllReduce(4096, std::move(done));
+  });
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(IsTypedTransportFailure(failed)) << failed;
+  EXPECT_NE(failed.ToString().find("host3"), std::string::npos) << failed;
+  EXPECT_LE(world.simulator.Now(), start + 4 * options.op_timeout_ns);
 }
 
 }  // namespace
