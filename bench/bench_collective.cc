@@ -9,6 +9,7 @@
 // All numbers are virtual-time measurements from the simulated fabric.
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -129,12 +130,18 @@ void SweepAlgorithms() {
   }
 }
 
-void EndToEnd() {
+void EndToEnd(bool tail) {
   PrintHeader("End-to-end: PS training vs all-reduce training (FCN-5)",
               "Mean virtual step time in ms; all-reduce drops the PS processes "
               "and sums gradients with the ring collective.");
-  std::printf("%-8s | %14s %14s\n", "machines", "PS (zero-copy)", "all-reduce");
+  std::printf("%-8s | %14s %14s", "machines", "PS (zero-copy)", "all-reduce");
+  if (tail) std::printf(" | %9s %9s %9s", "PS p50", "PS p99", "PS p999");
+  std::printf("\n");
   PrintRule();
+  // Tail mode runs enough steps for the per-step histogram to have a tail
+  // worth reading; the default keeps the historical 2+3-step measurement so
+  // its output stays byte-identical.
+  const int steps = tail ? 16 : 3;
   for (int machines : {2, 4}) {
     train::TrainingConfig ps;
     ps.model = models::Fcn5();
@@ -143,11 +150,13 @@ void EndToEnd() {
     ps.mechanism = train::MechanismKind::kRdmaZeroCopy;
     train::TrainingConfig ar = ps;
     ar.mode = train::TrainingMode::kAllReduce;
-    const StepResult ps_ms = MeasureConfig(ps);
-    const StepResult ar_ms = MeasureConfig(ar);
+    const StepResult ps_ms = MeasureConfig(ps, /*warmup=*/2, steps);
+    const StepResult ar_ms = MeasureConfig(ar, /*warmup=*/2, steps);
     CHECK(ps_ms.ok()) << ps_ms.error;
     CHECK(ar_ms.ok()) << ar_ms.error;
-    std::printf("%-8d | %14.2f %14.2f\n", machines, ps_ms.step_ms, ar_ms.step_ms);
+    std::printf("%-8d | %14.2f %14.2f", machines, ps_ms.step_ms, ar_ms.step_ms);
+    if (tail) std::printf(" | %9.2f %9.2f %9.2f", ps_ms.p50_ms, ps_ms.p99_ms, ps_ms.p999_ms);
+    std::printf("\n");
   }
 }
 
@@ -155,9 +164,18 @@ void EndToEnd() {
 }  // namespace bench
 }  // namespace rdmadl
 
-int main() {
+int main(int argc, char** argv) {
+  bool tail = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--tail") {
+      tail = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (expected --tail)\n", argv[i]);
+      return 2;
+    }
+  }
   rdmadl::bench::SweepTransports();
   rdmadl::bench::SweepAlgorithms();
-  rdmadl::bench::EndToEnd();
+  rdmadl::bench::EndToEnd(tail);
   return 0;
 }

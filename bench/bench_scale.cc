@@ -24,6 +24,13 @@
 //   --check[=N]    install RdmaCheck and a seeded chaos injector (latency
 //                  spikes + link-down blips; seed N, default 1); any
 //                  diagnostic is a hard failure
+//   --congestion   bounded queues + ECN + DCQCN on every topology (lossless
+//                  pause mode, so no transfer can fail), and the chaos
+//                  injector (under --check) additionally configures the
+//                  straggler/jitter knob — the ISSUE 8 robustness mode
+//   --tail         repeat each timed op and append p50/p99/p999 tail-latency
+//                  columns (existing mean columns keep their exact values;
+//                  without the flag the output is byte-identical to before)
 //   --json=PATH    write JSON rows to PATH
 #include <algorithm>
 #include <chrono>
@@ -36,6 +43,7 @@
 
 #include "bench/bench_util.h"
 #include "src/check/rdma_check.h"
+#include "src/net/congestion.h"
 #include "src/collective/collective.h"
 #include "src/device/rdma_device.h"
 #include "src/models/model_spec.h"
@@ -43,6 +51,7 @@
 #include "src/net/topology.h"
 #include "src/rdma/verbs.h"
 #include "src/sim/fault.h"
+#include "src/sim/histogram.h"
 #include "src/sim/simulator.h"
 #include "src/train/ps_training.h"
 #include "src/util/logging.h"
@@ -55,9 +64,24 @@ struct Flags {
   bool smoke = false;
   bool check = false;
   bool collectives = false;  // All-reduce phase only (BENCH_7 series).
+  bool congestion = false;   // Bounded queues + ECN + DCQCN + stragglers.
+  bool tail = false;         // Extra reps -> p50/p99/p999 columns.
   uint64_t chaos_seed = 1;
   std::string json_path;
 };
+
+// The robustness-mode fabric: bounded queues with early marking, DCQCN
+// reaction points, and PFC-style pause on overflow. Pause (not drop) so a
+// congested PS step degrades but can never lose a transfer — the sweep's
+// completion CHECKs stay meaningful under any seed.
+net::CongestionConfig BenchCongestion() {
+  net::CongestionConfig cc;
+  cc.queue_capacity_bytes = 4ull << 20;
+  cc.ecn_threshold_bytes = 512ull << 10;
+  cc.pause_on_overflow = true;
+  cc.dcqcn = true;
+  return cc;
+}
 
 struct TopoPoint {
   const char* name;
@@ -84,12 +108,23 @@ TopoPoint SwitchReduceTopology() {
 // Latency spikes and short link-down blips: enough chaos to shake event
 // ordering and the pool's reconnect path, but nothing that fails a transfer,
 // so the sweep must still complete deterministically.
-void ConfigureChaos(sim::FaultInjector* injector, uint64_t seed, int hosts) {
+void ConfigureChaos(sim::FaultInjector* injector, uint64_t seed, int hosts,
+                    bool stragglers) {
   sim::LinkFaultSpec spec;
   spec.spike_probability = 0.05;
   spec.spike_min_ns = 1'000;
   spec.spike_max_ns = 20'000;
   injector->SetDefaultLinkFault(spec);
+  // The straggler knob draws per-host dilations immediately, so it must sit
+  // at a fixed point of the configuration sequence for seed stability.
+  if (stragglers) {
+    sim::StragglerSpec straggle;
+    straggle.straggler_probability = 0.2;
+    straggle.dilation_min = 1.1;
+    straggle.dilation_max = 1.4;
+    straggle.jitter_max_ns = 2'000;
+    injector->ConfigureStragglers(straggle, hosts);
+  }
   injector->SetLinkDown(static_cast<int>(seed % hosts), 50'000, 250'000);
   injector->SetLinkDown(static_cast<int>((seed * 7 + 3) % hosts), 300'000, 600'000);
 }
@@ -104,6 +139,10 @@ struct ScaleRow {
   int64_t max_nic_qps = 0;    // Busiest NIC (must be <= cost.max_queue_pairs).
   int64_t pool_lanes = 0;
   int64_t pool_evictions = 0;
+  bool has_tail = false;      // --tail: the percentile columns are live.
+  double p50_ms = 0;          // Per-op/per-step virtual tail latencies.
+  double p99_ms = 0;
+  double p999_ms = 0;
   double wall_ms = 0;         // Nondeterministic (stderr + json only).
   double events_per_sec = 0;
 };
@@ -123,9 +162,13 @@ int64_t MaxNicQps(rdma::RdmaFabric* rdma, int hosts) {
 }
 
 void PrintRow(const ScaleRow& row) {
-  std::printf("%-9s %-12s %-10s %6d | %12.3f | %8lld %8lld %10lld\n", row.phase.c_str(),
-              row.model.c_str(), row.topology.c_str(), row.hosts, row.virtual_ms,
-              static_cast<long long>(row.total_qps), static_cast<long long>(row.pool_lanes),
+  std::printf("%-9s %-12s %-10s %6d | %12.3f |", row.phase.c_str(), row.model.c_str(),
+              row.topology.c_str(), row.hosts, row.virtual_ms);
+  if (row.has_tail) {
+    std::printf(" %9.3f %9.3f %9.3f |", row.p50_ms, row.p99_ms, row.p999_ms);
+  }
+  std::printf(" %8lld %8lld %10lld\n", static_cast<long long>(row.total_qps),
+              static_cast<long long>(row.pool_lanes),
               static_cast<long long>(row.pool_evictions));
   std::fprintf(stderr, "  [%s %s %s %d] wall %.0f ms, %.3g events/s\n", row.phase.c_str(),
                row.model.c_str(), row.topology.c_str(), row.hosts, row.wall_ms,
@@ -163,7 +206,7 @@ ScaleRow RunAllReduce(int hosts, const TopoPoint& topo, uint64_t elements,
   net::Fabric fabric(&simulator, cost, hosts, topo.config);
   sim::FaultInjector injector(flags.chaos_seed);
   if (flags.check) {
-    ConfigureChaos(&injector, flags.chaos_seed, hosts);
+    ConfigureChaos(&injector, flags.chaos_seed, hosts, flags.congestion);
     fabric.SetFaultInjector(&injector);
   }
   rdma::RdmaFabric rdma(&fabric);
@@ -180,6 +223,7 @@ ScaleRow RunAllReduce(int hosts, const TopoPoint& topo, uint64_t elements,
     bool done = false;
     Status status = Internal("all-reduce never completed");
     const uint64_t events_before = simulator.events_dispatched();
+    const int64_t op_start = simulator.Now();
     const auto wall_start = std::chrono::steady_clock::now();
     (*group)->AllReduce(elements, [&](const Status& s) {
       done = true;
@@ -201,6 +245,30 @@ ScaleRow RunAllReduce(int hosts, const TopoPoint& topo, uint64_t elements,
     row.wall_ms = wall_s * 1e3;
     row.events_per_sec =
         wall_s > 0 ? (simulator.events_dispatched() - events_before) / wall_s : 0;
+
+    // Tail mode: repeat the op on the warmed-up group. The mean columns above
+    // were already captured from rep 1 alone, so they keep their exact values.
+    if (flags.tail) {
+      sim::LatencyHistogram tail;
+      tail.Record(simulator.Now() - op_start);
+      for (int rep = 1; rep < 8; ++rep) {
+        const int64_t start = simulator.Now();
+        bool rep_done = false;
+        Status rep_status = Internal("all-reduce rep never completed");
+        (*group)->AllReduce(elements, [&](const Status& s) {
+          rep_done = true;
+          rep_status = s;
+        });
+        CHECK_OK(simulator.Run());
+        CHECK(rep_done);
+        CHECK_OK(rep_status);
+        tail.Record(simulator.Now() - start);
+      }
+      row.has_tail = true;
+      row.p50_ms = tail.P50() / 1e6;
+      row.p99_ms = tail.P99() / 1e6;
+      row.p999_ms = tail.P999() / 1e6;
+    }
   }
   // Group and directory are gone: only clean teardown state remains.
   RequireClean(checker.get(), row);
@@ -228,7 +296,7 @@ ScaleRow RunPsStep(int hosts, const TopoPoint& topo, const models::ModelSpec& mo
     CHECK_OK(init);
     sim::FaultInjector injector(flags.chaos_seed);
     if (flags.check) {
-      ConfigureChaos(&injector, flags.chaos_seed, hosts);
+      ConfigureChaos(&injector, flags.chaos_seed, hosts, flags.congestion);
       driver.cluster()->fabric()->SetFaultInjector(&injector);
     }
 
@@ -253,6 +321,19 @@ ScaleRow RunPsStep(int hosts, const TopoPoint& topo, const models::ModelSpec& mo
     row.events_per_sec =
         wall_s > 0 ? (simulator->events_dispatched() - events_before) / wall_s : 0;
     (void)virtual_before;
+
+    // Tail mode: run more steps and read the driver's per-step histogram
+    // (which also holds the warm-up and the timed step above — every
+    // completed RunStep of this driver's lifetime feeds the tail).
+    if (flags.tail) {
+      auto extra = driver.MeasureStepTimeMs(/*steps=*/7);
+      CHECK(extra.ok()) << extra.status();
+      const sim::LatencyHistogram& tail = driver.step_latencies();
+      row.has_tail = true;
+      row.p50_ms = tail.P50() / 1e6;
+      row.p99_ms = tail.P99() / 1e6;
+      row.p999_ms = tail.P999() / 1e6;
+    }
   }
   RequireClean(checker.get(), row);
   return row;
@@ -282,14 +363,26 @@ void Run(const Flags& flags) {
     ps_models = {{models::Lstm(), 256}};
   }
 
-  std::printf("%-9s %-12s %-10s %6s | %12s | %8s %8s %10s\n", "phase", "model", "topology",
-              "hosts", "virtual ms", "QPs", "lanes", "evictions");
+  std::printf("%-9s %-12s %-10s %6s | %12s |", "phase", "model", "topology", "hosts",
+              "virtual ms");
+  if (flags.tail) std::printf(" %9s %9s %9s |", "p50 ms", "p99 ms", "p999 ms");
+  std::printf(" %8s %8s %10s\n", "QPs", "lanes", "evictions");
   bench::PrintRule();
+
+  // The congestion mode turns the queue/ECN/DCQCN knobs on for every fabric
+  // in the sweep; without it the configs are all-zero and the fabric is
+  // byte-identical to the pre-congestion one.
+  std::vector<TopoPoint> topologies = Topologies();
+  TopoPoint sr = SwitchReduceTopology();
+  if (flags.congestion) {
+    for (TopoPoint& topo : topologies) topo.config.congestion = BenchCongestion();
+    sr.config.congestion = BenchCongestion();
+  }
 
   bench::JsonEmitter json;
   std::vector<ScaleRow> rows;
   const uint64_t elements = 1u << 20;  // 4 MiB of floats per rank.
-  for (const TopoPoint& topo : Topologies()) {
+  for (const TopoPoint& topo : topologies) {
     for (int hosts : allreduce_hosts) {
       rows.push_back(RunAllReduce(hosts, topo, elements, flags));
       PrintRow(rows.back());
@@ -300,8 +393,7 @@ void Run(const Flags& flags) {
   // it), and the in-network stage on the switch-reduce fabric. Skipped in
   // --smoke so that output stays byte-stable for the determinism baseline.
   if (!flags.smoke) {
-    const TopoPoint rack = Topologies()[1];
-    const TopoPoint sr = SwitchReduceTopology();
+    const TopoPoint& rack = topologies[1];
     for (int hosts : allreduce_hosts) {
       rows.push_back(RunAllReduce(hosts, rack, elements, flags,
                                   collective::Algorithm::kHierarchical, "hier-4MiB"));
@@ -320,7 +412,7 @@ void Run(const Flags& flags) {
   }
   bench::PrintRule();
   if (!flags.collectives) {
-    for (const TopoPoint& topo : Topologies()) {
+    for (const TopoPoint& topo : topologies) {
       for (const PsModel& ps : ps_models) {
         for (int hosts : ps_hosts) {
           if (hosts > ps.max_hosts) continue;
@@ -391,6 +483,11 @@ void Run(const Flags& flags) {
     json.Field("max_nic_qps", row.max_nic_qps);
     json.Field("pool_lanes", row.pool_lanes);
     json.Field("pool_evictions", row.pool_evictions);
+    if (row.has_tail) {
+      json.Field("p50_ms", row.p50_ms);
+      json.Field("p99_ms", row.p99_ms);
+      json.Field("p999_ms", row.p999_ms);
+    }
     json.Field("wall_ms", row.wall_ms);
     json.Field("events_per_sec", row.events_per_sec);
     json.EndRow();
@@ -417,6 +514,10 @@ int main(int argc, char** argv) {
       flags.smoke = true;
     } else if (arg == "--collectives") {
       flags.collectives = true;
+    } else if (arg == "--congestion") {
+      flags.congestion = true;
+    } else if (arg == "--tail") {
+      flags.tail = true;
     } else if (arg == "--check") {
       flags.check = true;
     } else if (arg.rfind("--check=", 0) == 0) {

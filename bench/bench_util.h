@@ -33,6 +33,12 @@ inline void PrintRule() {
 struct StepResult {
   double step_ms = -1.0;
   std::string error;
+  // Tail of the driver's per-step latency histogram (every completed step of
+  // the run, warm-up included) — meaningful once steps is large enough for a
+  // tail to exist; the mean above is unaffected by reading them.
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
   bool ok() const { return step_ms >= 0; }
 };
 
@@ -46,7 +52,11 @@ inline StepResult MeasureConfig(train::TrainingConfig config, int warmup = 2, in
   if (!ms.ok()) {
     return StepResult{-1.0, ms.status().ToString()};
   }
-  return StepResult{*ms, ""};
+  StepResult result{*ms, ""};
+  result.p50_ms = driver.step_latencies().P50() / 1e6;
+  result.p99_ms = driver.step_latencies().P99() / 1e6;
+  result.p999_ms = driver.step_latencies().P999() / 1e6;
+  return result;
 }
 
 // Formats a throughput improvement "A over B" as the paper does (percent).

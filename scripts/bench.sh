@@ -16,8 +16,14 @@
 # hierarchical schedule beats the ring at 256+ hosts and that kAuto matches
 # it exactly.
 #
+# The incast/tail-latency bench (bench_incast: N-to-1 storms with bounded
+# queues, drop vs PFC-pause vs DCQCN, per-message p50/p99/p999 from the
+# latency histograms) emits BENCH_8.json; the full run self-enforces the
+# collapse (p999 >= 5x p50 CC-off at 256 workers) and the DCQCN recovery
+# (>= 2x better p999) acceptance gates.
+#
 # Usage:
-#   scripts/bench.sh            # full sweeps -> BENCH_5/6/7.json
+#   scripts/bench.sh            # full sweeps -> BENCH_5/6/7/8.json
 #   scripts/bench.sh --quick    # reduced size set (CI smoke config)
 #
 # Environment:
@@ -25,6 +31,7 @@
 #   BENCH_OUT   override the transfer-sweep output (default: BENCH_5.json)
 #   BENCH6_OUT  override the cluster-scale output (default: BENCH_6.json)
 #   BENCH7_OUT  override the collective-series output (default: BENCH_7.json)
+#   BENCH8_OUT  override the incast/tail output (default: BENCH_8.json)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,6 +40,7 @@ BUILD_DIR="${BUILD_DIR:-build}"
 BENCH_OUT="${BENCH_OUT:-BENCH_5.json}"
 BENCH6_OUT="${BENCH6_OUT:-BENCH_6.json}"
 BENCH7_OUT="${BENCH7_OUT:-BENCH_7.json}"
+BENCH8_OUT="${BENCH8_OUT:-BENCH_8.json}"
 JOBS="${JOBS:-$(nproc)}"
 
 QUICK=()
@@ -44,7 +52,7 @@ for arg in "$@"; do
 done
 
 cmake -B "$BUILD_DIR" -S . -DRDMADL_SANITIZE=OFF >/dev/null
-cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_fig8_micro --target bench_scale >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_fig8_micro --target bench_scale --target bench_incast >/dev/null
 
 "$BUILD_DIR/bench/bench_fig8_micro" --sweep "${QUICK[@]}" --json="$BENCH_OUT"
 echo "wrote $BENCH_OUT" >&2
@@ -52,3 +60,6 @@ echo "wrote $BENCH_OUT" >&2
 "$BUILD_DIR/bench/bench_scale" "${QUICK[@]}" --json="$BENCH6_OUT"
 
 "$BUILD_DIR/bench/bench_scale" --collectives "${QUICK[@]}" --json="$BENCH7_OUT"
+
+"$BUILD_DIR/bench/bench_incast" "${QUICK[@]}" --json="$BENCH8_OUT"
+echo "wrote $BENCH8_OUT" >&2

@@ -35,6 +35,16 @@
 #                                 # checker diagnostics, QP-cap overflows and
 #                                 # nondeterminism all fail. Also part of the
 #                                 # default (no-flag) flow.
+#   scripts/check.sh --congestion # congestion/tail-latency sweep (ISSUE 8):
+#                                 # the congestion suite plain and under
+#                                 # RDMADL_CHECK=1, then bench_scale --quick
+#                                 # with bounded queues + ECN + DCQCN +
+#                                 # stragglers enabled across the chaos seed
+#                                 # list — each seed run twice with stdout
+#                                 # diffed — one tail-latency (p50/p99/p999)
+#                                 # run, and an ASan+UBSan pass over the
+#                                 # congestion suite. A smoke subset is also
+#                                 # part of the default (no-flag) flow.
 #   scripts/check.sh --collectives # collective conformance sweep: the
 #                                 # equivalence matrix (every algorithm x
 #                                 # topology shape x tensor size against the
@@ -71,6 +81,7 @@ for arg in "$@"; do
     --bench-smoke) MODE=bench-smoke ;;
     --scale) MODE=scale ;;
     --collectives) MODE=collectives ;;
+    --congestion) MODE=congestion ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -111,6 +122,25 @@ bench_smoke() {
   echo "bench smoke passed (deterministic stdout, no crashes)"
 }
 
+# Congestion smoke: one seed of the CC+straggler chaos storm — bench_scale
+# --quick with bounded queues, ECN, DCQCN and the straggler knob live under
+# RdmaCheck, run twice with stdout diffed. The full seed sweep lives in the
+# --congestion mode; this keeps the default flow honest about the congested
+# path without its runtime.
+congestion_seed_run() {
+  local build_dir="$1" seed="$2"
+  local out_a out_b
+  out_a="$(mktemp)" && out_b="$(mktemp)"
+  "$build_dir/bench/bench_scale" --quick --check="$seed" --congestion >"$out_a" 2>/dev/null
+  "$build_dir/bench/bench_scale" --quick --check="$seed" --congestion >"$out_b" 2>/dev/null
+  if ! diff -u "$out_a" "$out_b"; then
+    echo "congestion sweep FAILED: seed $seed stdout differs between runs" >&2
+    rm -f "$out_a" "$out_b"
+    exit 1
+  fi
+  rm -f "$out_a" "$out_b"
+}
+
 # Cluster-scale smoke: bench_scale --smoke runs a 256-host ring all-reduce
 # and a 256-host colocated-PS training step, with RdmaCheck installed and a
 # seeded chaos storm (latency spikes + link-down windows — delay-only, so the
@@ -145,6 +175,8 @@ case "$MODE" in
     build_and_test OFF "${BUILD_DIR:-build}"
     bench_smoke "${BUILD_DIR:-build}"
     scale_smoke "${BUILD_DIR:-build}"
+    congestion_seed_run "${BUILD_DIR:-build}" 1
+    echo "congestion smoke passed (seed 1 deterministic and checker-clean)"
     build_and_test address "${BUILD_DIR:-build-sanitize}"
     ;;
   tidy)
@@ -210,6 +242,30 @@ case "$MODE" in
   scale)
     plain_build
     scale_smoke "$BUILD_DIR"
+    ;;
+  congestion)
+    # Congestion/tail-latency robustness sweep (ISSUE 8). The congestion
+    # suite (link queues, ECN, DCQCN reaction point, stragglers, backoff cap,
+    # chaos seeds 1-10 in miniature) runs plain and with the protocol checker
+    # installed; then bench_scale sweeps the chaos seed list with congestion
+    # control AND the straggler knob live under RdmaCheck, each seed run
+    # twice and diffed for byte-identical stdout; one run adds the
+    # p50/p99/p999 tail columns; finally the suite runs under ASan+UBSan —
+    # the admission/pause path and per-QP rate state are fresh memory-layout
+    # territory.
+    plain_build
+    "$BUILD_DIR/tests/congestion_test" --gtest_brief=1
+    RDMADL_CHECK=1 "$BUILD_DIR/tests/congestion_test" --gtest_brief=1
+    for seed in ${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}; do
+      echo "=== congestion sweep: chaos seed $seed (CC + stragglers + RdmaCheck) ==="
+      congestion_seed_run "$BUILD_DIR" "$seed"
+    done
+    "$BUILD_DIR/bench/bench_scale" --quick --check=1 --congestion --tail >/dev/null 2>&1
+    SAN_DIR="${BUILD_DIR:-build}-sanitize"
+    cmake -B "$SAN_DIR" -S . -DRDMADL_SANITIZE=address
+    cmake --build "$SAN_DIR" -j "$JOBS" --target congestion_test
+    "$SAN_DIR/tests/congestion_test" --gtest_brief=1
+    echo "congestion sweep passed for seeds: ${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}"
     ;;
   collectives)
     # Collective conformance sweep (ISSUE 7). The equivalence matrix runs

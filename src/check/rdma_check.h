@@ -139,6 +139,19 @@ class RdmaCheck {
   void FlagTrusted(int dst_host, const void* flag_addr, int64_t now_ns);
   void FlagForgotten(int dst_host, const void* flag_addr);
 
+  // ---- congestion control ----
+  // Records ECN/DCQCN activity so congestion-era tests can assert both that
+  // the flag contract held *and* that throttling actually happened — a pass
+  // with zero signals would be vacuous. Pure counters: rate limiting changes
+  // timing, never ordering, so there is nothing further to shadow.
+  enum class CongestionSignal { kEcnMark = 0, kCnp = 1, kRateDecrease = 2 };
+  void CongestionEvent(CongestionSignal signal) {
+    ++congestion_signals_[static_cast<int>(signal)];
+  }
+  uint64_t congestion_signal_count(CongestionSignal signal) const {
+    return congestion_signals_[static_cast<int>(signal)];
+  }
+
   // Runs the teardown checks (leaked MRs) once and returns every diagnostic
   // recorded so far. Idempotent.
   const std::vector<Diagnostic>& Finalize();
@@ -208,6 +221,7 @@ class RdmaCheck {
   std::map<WriteKey, InflightWrite> inflight_;
   std::map<uint64_t, TransferShadow> transfers_;
   std::map<const void*, ArenaShadow> arenas_;
+  uint64_t congestion_signals_[3] = {0, 0, 0};
   // (host, flag address) -> shadow bit.
   std::map<std::pair<int, uint64_t>, FlagShadow> flags_;
 };
@@ -290,6 +304,9 @@ inline void OnFlagTrusted(int dst_host, const void* flag_addr, int64_t now_ns) {
 }
 inline void OnFlagForgotten(int dst_host, const void* flag_addr) {
   if (RdmaCheck* c = RdmaCheck::Current()) c->FlagForgotten(dst_host, flag_addr);
+}
+inline void OnCongestionSignal(RdmaCheck::CongestionSignal signal) {
+  if (RdmaCheck* c = RdmaCheck::Current()) c->CongestionEvent(signal);
 }
 
 }  // namespace check

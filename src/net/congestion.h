@@ -1,0 +1,97 @@
+// Congestion model of the simulated RoCE fabric (ISSUE 8).
+//
+// The pre-congestion fabric serializes transfers on links but never pushes
+// back: a link's queue is unbounded, so a 256-into-1 incast reports a clean
+// mean and hides the pathology a real PFC/ECN fabric would produce. This
+// header is the one knob bundle that turns congestion on:
+//
+//   * every host port and shared rack/spine link gets a bounded egress queue
+//     (tracked in wire-time units; capacity/threshold below are bytes and
+//     converted per link bandwidth);
+//   * occupancy above |ecn_threshold_bytes| marks the segment ECN (CE), which
+//     the receiving NIC turns into a CNP back to the sending queue pair;
+//   * occupancy above |queue_capacity_bytes| either drops the segment
+//     deterministically (RoCE without PFC: the RC transport retransmits with
+//     backoff — the incast-collapse mechanism) or, with |pause_on_overflow|,
+//     opens a PFC-style pause window on the link (lossless but
+//     throughput-degrading; pause windows feed the same down-window machinery
+//     fault injection uses, and coalesce with it);
+//   * |dcqcn| enables the per-QP DCQCN reaction point in rdma::QueuePair:
+//     multiplicative rate decrease on CNP, timer + byte-counter staged
+//     recovery back toward line rate.
+//
+// The all-zero default disables every mechanism: a fabric constructed with a
+// default CongestionConfig behaves — to the byte — exactly as before this
+// subsystem existed.
+#ifndef RDMADL_SRC_NET_CONGESTION_H_
+#define RDMADL_SRC_NET_CONGESTION_H_
+
+#include <cstdint>
+
+namespace rdmadl {
+namespace net {
+
+struct CongestionConfig {
+  // ---- Switch/port queues -------------------------------------------------
+  // Egress queue capacity of one host-port's worth of bandwidth, in bytes.
+  // 0 (the default) means unbounded: no drops, no pauses, byte-identical to
+  // the pre-congestion fabric. Shared rack/spine links scale this by their
+  // bandwidth ratio so capacity is expressed in *time*, as switch buffers
+  // effectively are.
+  uint64_t queue_capacity_bytes = 0;
+  // ECN marking threshold (RED-style, at enqueue), same unit and scaling as
+  // the capacity. 0 disables marking.
+  uint64_t ecn_threshold_bytes = 0;
+  // Overflow policy: false = deterministic tail drop (RoCE without PFC; the
+  // RC transport's go-back-N retransmission pays for it), true = PFC-style
+  // pause (lossless: the link opens a |pause_ns| dead window instead — head
+  // of line blocking and wasted slots, but nothing is lost).
+  bool pause_on_overflow = false;
+  int64_t pause_ns = 5'000;
+
+  // ---- DCQCN reaction point (per queue pair) ------------------------------
+  // Enables the rate limiter in rdma::QueuePair. Disabled, ECN marks are
+  // still counted but nobody reacts ("CC off": the configuration that
+  // reproduces incast collapse).
+  bool dcqcn = false;
+  // Rate floor: DCQCN never throttles a QP below this (1% of line rate).
+  double dcqcn_min_rate_bytes_per_sec = 0.12e9;
+  // EWMA gain g of the alpha (congestion-extent) estimator:
+  // alpha <- (1-g) alpha + g on CNP, alpha <- (1-g) alpha per quiet period.
+  double dcqcn_alpha_g = 1.0 / 16.0;
+  // NP-side CNP moderation: at most one CNP per QP per this interval.
+  int64_t dcqcn_cnp_interval_ns = 50'000;
+  // Rate-increase stage period (the RP timer) and byte counter: whichever
+  // accumulates more stages since the last decrease drives recovery.
+  int64_t dcqcn_recovery_period_ns = 55'000;
+  uint64_t dcqcn_recovery_bytes = 10ull << 20;
+  // Stages 1..N halve toward the pre-decrease target (fast recovery); later
+  // stages additionally grow the target by rate_ai (additive increase).
+  int dcqcn_fast_recovery_stages = 5;
+  double dcqcn_rate_ai_bytes_per_sec = 40.0e6;
+
+  // True when any queue mechanism is active (marking or bounded occupancy).
+  bool enabled() const { return queue_capacity_bytes > 0 || ecn_threshold_bytes > 0; }
+};
+
+// Aggregated congestion counters (per link, summed by Fabric).
+struct CongestionStats {
+  uint64_t ecn_marks = 0;        // Segments marked CE at enqueue.
+  uint64_t overflow_drops = 0;   // Segments tail-dropped by a full queue.
+  uint64_t pause_windows = 0;    // PFC pause windows opened.
+  int64_t paused_ns_total = 0;   // Total dead time from pause windows.
+  int64_t peak_backlog_ns = 0;   // Deepest queue (in wire time) ever seen.
+
+  void MergeFrom(const CongestionStats& o) {
+    ecn_marks += o.ecn_marks;
+    overflow_drops += o.overflow_drops;
+    pause_windows += o.pause_windows;
+    paused_ns_total += o.paused_ns_total;
+    if (o.peak_backlog_ns > peak_backlog_ns) peak_backlog_ns = o.peak_backlog_ns;
+  }
+};
+
+}  // namespace net
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_NET_CONGESTION_H_

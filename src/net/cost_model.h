@@ -39,11 +39,15 @@ struct CostModel {
   double rdma_qp_engine_bytes_per_sec = 0.0;
 
   // IB RC transport reliability: on a lost segment the QP retransmits the
-  // work request with exponential backoff (base << attempt), up to the retry
-  // count (the 3-bit retry_cnt field caps at 7); exhaustion moves the QP to
-  // the error state and flushes queued work requests.
+  // work request with exponential backoff (base << attempt, capped at
+  // rdma_transport_retry_max_ns so a raised retry budget cannot overflow the
+  // shift or stall a run for virtual hours), up to the retry count (the
+  // 3-bit retry_cnt field caps at 7); exhaustion moves the QP to the error
+  // state and flushes queued work requests. The default cap equals
+  // base << 7, so the stock 7-attempt schedule is unchanged.
   int rdma_transport_retry_count = 7;
   int64_t rdma_transport_retry_base_ns = 20'000;
+  int64_t rdma_transport_retry_max_ns = 2'560'000;
 
   // Memory-region registration (§3.4): pinning pages via the kernel.
   int64_t mr_register_base_ns = 40'000;     // Syscall + driver entry.

@@ -26,6 +26,7 @@ struct TransferProgress {
     uint64_t length = 0;  // 0 for dropped or zero-payload segments.
     int64_t deliver_at = 0;
     bool dropped = false;
+    bool ecn = false;  // Marked CE by a congested queue on the path.
   };
   Fabric* fabric = nullptr;
   uint64_t delivered = 0;
@@ -37,6 +38,7 @@ struct TransferProgress {
   std::vector<Segment> segments;
   std::function<void(uint64_t, uint64_t)> on_chunk;
   std::function<void(Status)> on_complete;
+  std::function<void(int64_t)> on_ecn;
 
   // Clears per-transfer state for reuse; keeps segment-vector capacity.
   void Reset() {
@@ -49,6 +51,7 @@ struct TransferProgress {
     segments.clear();
     on_chunk = nullptr;
     on_complete = nullptr;
+    on_ecn = nullptr;
   }
 
   void Deliver(uint32_t index);
@@ -75,6 +78,9 @@ void TransferProgress::Deliver(uint32_t index) {
       check::OnTransferSegment(check_id, seg.offset, seg.length, seg.deliver_at);
       if (on_chunk) on_chunk(seg.offset, seg.length);
     }
+    // ECN feedback rides the delivered packet: the receiving NIC sees the CE
+    // mark now and (one CNP-moderated hop later) the sender reacts.
+    if (seg.ecn && on_ecn) on_ecn(seg.deliver_at);
     delivered += seg.length;
     if (delivered >= total_bytes) {
       check::OnTransferFinished(check_id);
@@ -104,7 +110,7 @@ Fabric::Fabric(sim::Simulator* simulator, const CostModel& cost, int num_hosts)
 
 Fabric::Fabric(sim::Simulator* simulator, const CostModel& cost, int num_hosts,
                const TopologyConfig& topology)
-    : simulator_(simulator), cost_(cost) {
+    : simulator_(simulator), cost_(cost), congestion_(topology.congestion) {
   CHECK_GT(num_hosts, 0);
   if (topology.hierarchical()) {
     topology_ = std::make_unique<Topology>(topology, num_hosts);
@@ -116,9 +122,58 @@ Fabric::Fabric(sim::Simulator* simulator, const CostModel& cost, int num_hosts,
   for (int i = 0; i < num_hosts; ++i) {
     hosts_.push_back(std::make_unique<Host>(i, simulator, &cost_));
   }
+  if (congestion_.enabled()) {
+    // Byte thresholds become per-link wire time at host-port bandwidth, so
+    // every queue bounds the same queuing *delay*: shared rack/spine links
+    // (N× the bandwidth) implicitly hold N× the bytes, as their fatter
+    // buffers would. Loopback and PCIe stay unbounded — congestion is a
+    // network phenomenon here, not a memory-bus one.
+    const double bw = cost_.rdma_bandwidth_bytes_per_sec;
+    auto to_ns = [bw](uint64_t bytes) -> int64_t {
+      if (bytes == 0) return 0;
+      return std::max<int64_t>(1, static_cast<int64_t>(static_cast<double>(bytes) / bw * 1e9));
+    };
+    const int64_t cap_ns = to_ns(congestion_.queue_capacity_bytes);
+    const int64_t ecn_ns = to_ns(congestion_.ecn_threshold_bytes);
+    auto configure = [&](Link& link) {
+      link.ConfigureCongestion(cap_ns, ecn_ns, congestion_.pause_on_overflow,
+                               congestion_.pause_ns);
+    };
+    for (auto& host : hosts_) {
+      configure(host->egress());
+      configure(host->ingress());
+    }
+    if (topology_ != nullptr) {
+      for (int r = 0; r < topology_->num_racks(); ++r) {
+        configure(*topology_->rack_uplink(r));
+        configure(*topology_->rack_downlink(r));
+      }
+      for (int s = 0; s < topology_->num_spine_links(); ++s) {
+        configure(*topology_->spine_link(s));
+      }
+    }
+  }
 }
 
 Fabric::~Fabric() = default;
+
+CongestionStats Fabric::congestion_totals() const {
+  CongestionStats totals;
+  for (const auto& host : hosts_) {
+    totals.MergeFrom(host->egress().congestion_stats());
+    totals.MergeFrom(host->ingress().congestion_stats());
+  }
+  if (topology_ != nullptr) {
+    for (int r = 0; r < topology_->num_racks(); ++r) {
+      totals.MergeFrom(topology_->rack_uplink(r)->congestion_stats());
+      totals.MergeFrom(topology_->rack_downlink(r)->congestion_stats());
+    }
+    for (int s = 0; s < topology_->num_spine_links(); ++s) {
+      totals.MergeFrom(topology_->spine_link(s)->congestion_stats());
+    }
+  }
+  return totals;
+}
 
 internal::TransferProgress* Fabric::AcquireProgress() {
   if (progress_free_.empty()) {
@@ -155,7 +210,8 @@ void Fabric::SetFaultInjector(sim::FaultInjector* injector) {
 void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
                       int64_t initiation_delay_ns,
                       std::function<void(uint64_t, uint64_t)> on_chunk,
-                      std::function<void(Status)> on_complete) {
+                      std::function<void(Status)> on_complete,
+                      std::function<void(int64_t)> on_ecn) {
   Host* src_host = host(src);
   Host* dst_host = host(dst);
 
@@ -220,6 +276,10 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
                         now);
       latency += spike_ns;
     }
+    // Straggler-knob link jitter: a small per-transfer latency wobble, drawn
+    // only when the knob is configured so existing seeds keep their exact
+    // random-draw order (and thus byte-identical traces).
+    latency += fault_->DrawJitterNs(src, dst);
   }
 
   // Delivery granularity: MTU-sized for small transfers (fine-grained partial
@@ -280,6 +340,7 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
   progress->dst = dst;
   progress->on_chunk = std::move(on_chunk);
   progress->on_complete = std::move(on_complete);
+  progress->on_ecn = std::move(on_ecn);
   progress->segments.reserve(static_cast<size_t>((total + chunk_size - 1) / chunk_size));
 
   uint64_t offset = 0;
@@ -288,45 +349,86 @@ void Fabric::Transfer(int src, int dst, uint64_t bytes, Plane plane,
     const uint64_t len = std::min<uint64_t>(chunk_size, total - offset);
     const int64_t wire_ns =
         std::max<int64_t>(1, static_cast<int64_t>(static_cast<double>(len) / bandwidth * 1e9));
-    int64_t egress_done;
-    int64_t path_done;
-    if (loopback) {
-      egress_done = src_host->loopback().Reserve(cursor, wire_ns);
-      path_done = egress_done;
-    } else {
-      egress_done = src_host->egress().Reserve(cursor, wire_ns);
-      path_done = egress_done;
-      if (num_hops > 0) {
-        // Each chunk crosses the shared rack-uplink, spine, and rack-downlink
-        // serialization points after leaving the host port; an oversubscribed
-        // link stretches the chunk's wire time by the bandwidth ratio, and
-        // queuing on any hop delays everything downstream of it.
-        const int64_t hop_wire_ns = std::max<int64_t>(
-            1, static_cast<int64_t>(static_cast<double>(len) / shared_bandwidth * 1e9));
-        for (int h = 0; h < num_hops; ++h) {
-          path_done = hops[h].link->Reserve(path_done, hop_wire_ns);
-        }
-      }
-      // Ingress occupancy mirrors the sending port: the receiving port is
-      // busy for the chunk's own wire time, ending at delivery.
-      dst_host->ingress().Reserve(path_done - wire_ns + latency, wire_ns);
-    }
-    cursor = egress_done;
 
     internal::TransferProgress::Segment seg;
     seg.offset = offset;
     seg.length = (bytes == 0) ? 0 : len;
-    seg.deliver_at = path_done + latency;
-    seg.dropped = fault_ != nullptr && fault_->ShouldDropSegment(src, dst);
-    if (seg.dropped) {
-      seg.length = 0;
+
+    if (loopback) {
+      const int64_t done = src_host->loopback().Reserve(cursor, wire_ns);
+      cursor = done;
+      seg.deliver_at = done + latency;
+    } else {
+      // With a disabled CongestionConfig, Admit is exactly Reserve: no marks,
+      // no drops, identical slot arithmetic. With queues bounded, any point
+      // on the path — egress port, shared rack/spine hop, ingress port — may
+      // mark the segment CE or (drop policy) tail-drop it; a drop truncates
+      // the transfer like a fault-injected loss and the RC transport's
+      // retransmission pays the recovery cost. This is the incast mechanism.
+      const Link::Admission eg = src_host->egress().Admit(cursor, wire_ns);
+      seg.ecn = eg.ecn;
+      if (eg.dropped) {
+        seg.dropped = true;
+        // Nothing was transmitted; the sender notices when the bytes should
+        // have landed.
+        seg.deliver_at = eg.done_ns + wire_ns + latency;
+      } else {
+        cursor = eg.done_ns;
+        int64_t path_done = eg.done_ns;
+        if (num_hops > 0) {
+          // Each chunk crosses the shared rack-uplink, spine, and
+          // rack-downlink serialization points after leaving the host port;
+          // an oversubscribed link stretches the chunk's wire time by the
+          // bandwidth ratio, and queuing on any hop delays everything
+          // downstream of it.
+          const int64_t hop_wire_ns = std::max<int64_t>(
+              1, static_cast<int64_t>(static_cast<double>(len) / shared_bandwidth * 1e9));
+          for (int h = 0; h < num_hops && !seg.dropped; ++h) {
+            const Link::Admission hop = hops[h].link->Admit(path_done, hop_wire_ns);
+            seg.ecn |= hop.ecn;
+            if (hop.dropped) {
+              seg.dropped = true;
+              seg.deliver_at = hop.done_ns + hop_wire_ns + latency;
+            } else {
+              path_done = hop.done_ns;
+            }
+          }
+        }
+        if (!seg.dropped) {
+          // Ingress occupancy mirrors the sending port: the receiving port is
+          // busy for the chunk's own wire time, ending at delivery. On an
+          // unbounded link the reservation is pure accounting and delivery
+          // stays at path_done + latency (the admitted slot ends exactly
+          // there when the queue is empty). With a bounded queue the segment
+          // genuinely waits its turn — many senders into one port drain
+          // serially, which is the incast bottleneck itself.
+          const Link::Admission in =
+              dst_host->ingress().Admit(path_done - wire_ns + latency, wire_ns);
+          seg.ecn |= in.ecn;
+          seg.dropped = in.dropped;
+          seg.deliver_at = seg.dropped ? in.done_ns + wire_ns
+                          : dst_host->ingress().congested() ? in.done_ns
+                                                            : path_done + latency;
+        }
+      }
+      if (seg.dropped) {
+        sim::TraceInstant(
+            "congestion",
+            StrCat("queue drop host", src, "->host", dst, " offset=", seg.offset),
+            seg.deliver_at);
+      }
+    }
+
+    if (!seg.dropped && fault_ != nullptr && fault_->ShouldDropSegment(src, dst)) {
+      seg.dropped = true;
       sim::TraceInstant("fault",
                         StrCat("drop host", src, "->host", dst, " offset=", seg.offset),
                         seg.deliver_at);
     }
+    if (seg.dropped) seg.length = 0;
     progress->segments.push_back(seg);
-    // No segment is delivered past a drop (DeliverSegment turns it into the
-    // failed completion at its delivery time).
+    // No segment is delivered past a drop (Deliver turns it into the failed
+    // completion at its delivery time).
     if (seg.dropped) break;
     offset += len;
   }

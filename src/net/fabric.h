@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/net/congestion.h"
 #include "src/net/cost_model.h"
 #include "src/sim/fault.h"
 #include "src/sim/simulator.h"
@@ -86,14 +87,75 @@ class Link {
     return t < it->second ? it->second : t;
   }
 
+  // Bounds this link's queue. All values are in wire time (Fabric converts
+  // CongestionConfig's byte thresholds using the link's bandwidth). Zero
+  // capacity and threshold leave the link unbounded and unmarked — Admit then
+  // behaves exactly like Reserve.
+  void ConfigureCongestion(int64_t capacity_ns, int64_t ecn_threshold_ns,
+                           bool pause_on_overflow, int64_t pause_ns) {
+    capacity_ns_ = capacity_ns;
+    ecn_threshold_ns_ = ecn_threshold_ns;
+    pause_on_overflow_ = pause_on_overflow;
+    pause_ns_ = pause_ns;
+  }
+
+  struct Admission {
+    int64_t done_ns = 0;  // Slot end; for a drop, where the slot would have started.
+    bool ecn = false;     // Queue stood above the ECN threshold at enqueue.
+    bool dropped = false; // Queue was full (drop policy): nothing was reserved.
+  };
+
+  // Reserve with queue accounting: the backlog is the wire time between |now|
+  // (the packet's arrival at the queue) and the earliest slot start. Above the
+  // ECN threshold the admission is marked; above capacity it is either tail
+  // dropped (nothing reserved) or, under the pause policy, the link opens a
+  // pause window at the end of the backlog — upstream stalls, the queue
+  // drains, nothing is lost. Pause windows go through AddDownWindow and so
+  // coalesce with fault-injected down windows.
+  Admission Admit(int64_t now, int64_t duration_ns) {
+    Admission adm;
+    if (capacity_ns_ > 0 || ecn_threshold_ns_ > 0) {
+      const int64_t start = AvailableAt(std::max(now, next_free_ns_));
+      const int64_t backlog = start - now;
+      if (backlog > cstats_.peak_backlog_ns) cstats_.peak_backlog_ns = backlog;
+      if (capacity_ns_ > 0 && backlog > capacity_ns_) {
+        if (!pause_on_overflow_) {
+          ++cstats_.overflow_drops;
+          adm.dropped = true;
+          adm.done_ns = start;
+          return adm;
+        }
+        ++cstats_.pause_windows;
+        cstats_.paused_ns_total += pause_ns_;
+        AddDownWindow(start, start + pause_ns_);
+      }
+      if (ecn_threshold_ns_ > 0 && backlog >= ecn_threshold_ns_) {
+        ++cstats_.ecn_marks;
+        adm.ecn = true;
+      }
+    }
+    adm.done_ns = Reserve(now, duration_ns);
+    return adm;
+  }
+
+  // True when this link's queue is bounded or marking (Admit != Reserve).
+  bool congested() const { return capacity_ns_ > 0 || ecn_threshold_ns_ > 0; }
+
   int64_t next_free_ns() const { return next_free_ns_; }
   int64_t busy_ns_total() const { return busy_ns_total_; }
   const std::string& name() const { return name_; }
+  const CongestionStats& congestion_stats() const { return cstats_; }
 
  private:
   std::string name_;
   int64_t next_free_ns_ = 0;
   int64_t busy_ns_total_ = 0;  // For utilization accounting.
+  // Congestion bounds (wire-time units); zero = unbounded, see Admit.
+  int64_t capacity_ns_ = 0;
+  int64_t ecn_threshold_ns_ = 0;
+  bool pause_on_overflow_ = false;
+  int64_t pause_ns_ = 0;
+  CongestionStats cstats_;
   std::vector<std::pair<int64_t, int64_t>> down_windows_;  // Sorted by start.
 };
 
@@ -157,9 +219,16 @@ class Fabric {
   // the ascending prefix that already landed stays delivered). The transfer
   // starts after |initiation_delay_ns| of sender-side processing (e.g. NIC
   // WQE fetch) from the current virtual time.
+  //
+  // |on_ecn| (optional) fires once per delivered segment that was ECN-marked
+  // by a congested queue on its path, at the segment's delivery time — the
+  // hook the RDMA layer uses to generate CNPs back to the sending QP. Never
+  // fires for dropped segments (a lost packet carries no mark home) and never
+  // fires on a fabric whose CongestionConfig is disabled.
   void Transfer(int src, int dst, uint64_t bytes, Plane plane, int64_t initiation_delay_ns,
                 std::function<void(uint64_t offset, uint64_t length)> on_chunk,
-                std::function<void(Status)> on_complete);
+                std::function<void(Status)> on_complete,
+                std::function<void(int64_t deliver_ns)> on_ecn = nullptr);
 
   // Attaches a fault injector (nullptr to detach). Down windows configured on
   // the injector are installed onto the hosts' egress/ingress links at attach
@@ -177,6 +246,13 @@ class Fabric {
   // Null unless the topology is hierarchical with switch_reduce enabled.
   SwitchReduceStage* switch_reduce() const { return switch_reduce_.get(); }
 
+  // The congestion model this fabric was built with (all-zero = disabled).
+  // Works on flat fabrics too: incast is a host-ingress pathology and needs
+  // no racks. The RDMA layer reads dcqcn parameters from here.
+  const CongestionConfig& congestion() const { return congestion_; }
+  // Congestion counters summed over every host port and shared topology link.
+  CongestionStats congestion_totals() const;
+
  private:
   friend struct internal::TransferProgress;
 
@@ -189,6 +265,7 @@ class Fabric {
 
   sim::Simulator* simulator_;
   CostModel cost_;
+  CongestionConfig congestion_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::unique_ptr<Topology> topology_;  // Null for flat fabrics.
   std::unique_ptr<SwitchReduceStage> switch_reduce_;  // Null unless enabled.

@@ -60,6 +60,13 @@ struct TopologyConfig {
   // Fixed per-round latency of one reduction engine (pipeline fill).
   int64_t switch_engine_latency_ns = 150;
 
+  // ---- Congestion model ------------------------------------------------
+  // Bounded queues / ECN / PFC / DCQCN knobs (src/net/congestion.h). The
+  // all-zero default disables every mechanism. Applies to flat fabrics too:
+  // incast is a host-ingress pathology and needs no racks, so Fabric
+  // configures host ports from this regardless of hierarchical().
+  CongestionConfig congestion;
+
   bool hierarchical() const { return hosts_per_rack > 0; }
 };
 

@@ -164,6 +164,114 @@ int64_t QueuePair::EngineDelayNs(uint64_t bytes) const {
   return static_cast<int64_t>(static_cast<double>(bytes) / rate * 1e9);
 }
 
+int64_t QueuePair::DcqcnDelayNs(uint64_t bytes) {
+  const net::CongestionConfig& cc = nic_->fabric()->congestion();
+  if (!cc.dcqcn) return 0;
+  Dcqcn& d = dcqcn_;
+  const double line = nic_->cost().rdma_bandwidth_bytes_per_sec;
+  if (!d.initialized) {
+    d.initialized = true;
+    d.current_rate = line;
+    d.target_rate = line;
+  }
+  if (d.last_decrease_ns < 0) return 0;  // Never throttled: line rate.
+  const int64_t now = nic_->simulator()->Now();
+  // Timer + byte-counter recovery, applied lazily: whichever accumulated more
+  // stages since the last marker drives the advance (both reset on a
+  // decrease). The cap bounds the catch-up loop after a long idle gap.
+  int stages = 0;
+  if (cc.dcqcn_recovery_period_ns > 0) {
+    stages = static_cast<int>(
+        std::min<int64_t>((now - d.last_stage_ns) / cc.dcqcn_recovery_period_ns, 64));
+  }
+  if (cc.dcqcn_recovery_bytes > 0) {
+    stages = std::max(stages, static_cast<int>(std::min<uint64_t>(
+                                  d.bytes_since_stage / cc.dcqcn_recovery_bytes, 64)));
+  }
+  if (stages > 0) {
+    for (int i = 0; i < stages; ++i) {
+      ++d.stage;
+      // Quiet-period alpha decay rides the same stage clock.
+      d.alpha *= (1.0 - cc.dcqcn_alpha_g);
+      if (d.stage > cc.dcqcn_fast_recovery_stages) {
+        d.target_rate = std::min(line, d.target_rate + cc.dcqcn_rate_ai_bytes_per_sec);
+      }
+      d.current_rate = 0.5 * (d.current_rate + d.target_rate);
+    }
+    nic_->stats_.dcqcn_rate_increases += static_cast<uint64_t>(stages);
+    d.last_stage_ns = now;
+    d.bytes_since_stage = 0;
+    d.cnp_backoff = 0;
+    if (line - d.current_rate < 1.0e6) {
+      // Fully recovered: back to untracked line rate.
+      d.current_rate = line;
+      d.target_rate = line;
+      d.last_decrease_ns = -1;
+      return 0;
+    }
+  }
+  d.bytes_since_stage += bytes;
+  const double delay =
+      static_cast<double>(bytes) * 1e9 * (1.0 / d.current_rate - 1.0 / line);
+  const int64_t delay_ns = delay > 0.0 ? static_cast<int64_t>(delay) : 0;
+  nic_->stats_.dcqcn_pacing_delay_ns_total += delay_ns;
+  return delay_ns;
+}
+
+void QueuePair::OnEcnFeedback(int64_t deliver_ns) {
+  const net::CongestionConfig& cc = nic_->fabric()->congestion();
+  ++nic_->stats_.ecn_marked_segments;
+  check::OnCongestionSignal(check::RdmaCheck::CongestionSignal::kEcnMark);
+  if (!cc.dcqcn) return;  // Nobody reacts: the CC-off collapse configuration.
+  Dcqcn& d = dcqcn_;
+  // NP-side CNP moderation. While the QP already sits at the rate floor,
+  // further CNPs carry no new information, so the interval backs off
+  // exponentially (capped at 16x) — a persistent hotspot must not become a
+  // CNP storm. Shares CappedBackoffNs with the transport-retry schedule.
+  const int64_t interval = CappedBackoffNs(cc.dcqcn_cnp_interval_ns, d.cnp_backoff,
+                                           16 * cc.dcqcn_cnp_interval_ns);
+  if (d.last_cnp_ns >= 0 && deliver_ns - d.last_cnp_ns < interval) return;
+  d.last_cnp_ns = deliver_ns;
+  if (d.initialized && d.current_rate <= cc.dcqcn_min_rate_bytes_per_sec * 1.001) {
+    d.cnp_backoff = std::min(d.cnp_backoff + 1, 4);
+  }
+  // The CNP travels back to the sender; the RP reacts one propagation
+  // latency later.
+  ++pending_events_;
+  nic_->simulator()->ScheduleAfter(nic_->cost().rdma_one_way_latency_ns, [this]() {
+    --pending_events_;
+    ApplyCnp();
+  });
+}
+
+void QueuePair::ApplyCnp() {
+  ++nic_->stats_.cnps_received;
+  check::OnCongestionSignal(check::RdmaCheck::CongestionSignal::kCnp);
+  DcqcnDecrease();
+}
+
+void QueuePair::DcqcnDecrease() {
+  const net::CongestionConfig& cc = nic_->fabric()->congestion();
+  Dcqcn& d = dcqcn_;
+  const double line = nic_->cost().rdma_bandwidth_bytes_per_sec;
+  if (!d.initialized) {
+    d.initialized = true;
+    d.current_rate = line;
+    d.target_rate = line;
+  }
+  d.alpha = (1.0 - cc.dcqcn_alpha_g) * d.alpha + cc.dcqcn_alpha_g;
+  d.target_rate = d.current_rate;
+  d.current_rate =
+      std::max(d.current_rate * (1.0 - d.alpha / 2.0), cc.dcqcn_min_rate_bytes_per_sec);
+  d.stage = 0;
+  d.bytes_since_stage = 0;
+  const int64_t now = nic_->simulator()->Now();
+  d.last_stage_ns = now;
+  d.last_decrease_ns = now;
+  ++nic_->stats_.dcqcn_rate_decreases;
+  check::OnCongestionSignal(check::RdmaCheck::CongestionSignal::kRateDecrease);
+}
+
 void QueuePair::Execute(const SendWorkRequest& wr) {
   switch (wr.opcode) {
     case Opcode::kWrite:
@@ -201,7 +309,8 @@ void QueuePair::ExecuteWrite(const SendWorkRequest& wr) {
   nic_->stats_.write_bytes += wr.length;
   nic_->fabric()->Transfer(
       nic_->host_id(), target_nic->host_id(), wr.length, net::Plane::kRdma,
-      nic_->cost().rdma_nic_processing_ns + EngineDelayNs(wr.length),
+      nic_->cost().rdma_nic_processing_ns + EngineDelayNs(wr.length) +
+          DcqcnDelayNs(wr.length),
       // Segments land in ascending address order; each is copied for real so
       // a flag-byte poller on the target sees partial tensors faithfully.
       // The WR is read back out of current_ (valid for the wire's lifetime).
@@ -214,7 +323,8 @@ void QueuePair::ExecuteWrite(const SendWorkRequest& wr) {
                       reinterpret_cast<const uint8_t*>(cur.local_addr) + offset, length);
         }
       },
-      [this](Status status) { CompleteWire(status, /*deliver_inbound=*/false); });
+      [this](Status status) { CompleteWire(status, /*deliver_inbound=*/false); },
+      [this](int64_t deliver_ns) { OnEcnFeedback(deliver_ns); });
 }
 
 void QueuePair::ExecuteRead(const SendWorkRequest& wr) {
@@ -234,7 +344,8 @@ void QueuePair::ExecuteRead(const SendWorkRequest& wr) {
   // NIC processing), then the data streams back.
   const int64_t request_trip =
       nic_->cost().rdma_nic_processing_ns + nic_->cost().rdma_one_way_latency_ns +
-      nic_->cost().rdma_nic_processing_ns + EngineDelayNs(wr.length);
+      nic_->cost().rdma_nic_processing_ns + EngineDelayNs(wr.length) +
+      DcqcnDelayNs(wr.length);
   nic_->fabric()->Transfer(
       target_nic->host_id(), nic_->host_id(), wr.length, net::Plane::kRdma, request_trip,
       [this](uint64_t offset, uint64_t length) {
@@ -244,17 +355,20 @@ void QueuePair::ExecuteRead(const SendWorkRequest& wr) {
                       reinterpret_cast<const uint8_t*>(cur.remote_addr) + offset, length);
         }
       },
-      [this](Status status) { CompleteWire(status, /*deliver_inbound=*/false); });
+      [this](Status status) { CompleteWire(status, /*deliver_inbound=*/false); },
+      [this](int64_t deliver_ns) { OnEcnFeedback(deliver_ns); });
 }
 
 void QueuePair::ExecuteSend(const SendWorkRequest& wr) {
   ++nic_->stats_.sends;
   nic_->stats_.send_bytes += wr.length;
   nic_->fabric()->Transfer(nic_->host_id(), peer_->nic_->host_id(), wr.length, net::Plane::kRdma,
-                           nic_->cost().rdma_nic_processing_ns, nullptr,
+                           nic_->cost().rdma_nic_processing_ns + DcqcnDelayNs(wr.length),
+                           nullptr,
                            [this](Status status) {
                              CompleteWire(status, /*deliver_inbound=*/true);
-                           });
+                           },
+                           [this](int64_t deliver_ns) { OnEcnFeedback(deliver_ns); });
 }
 
 void QueuePair::CompleteWire(const Status& status, bool deliver_inbound) {
@@ -274,11 +388,15 @@ void QueuePair::CompleteWire(const Status& status, bool deliver_inbound) {
     return;
   }
   // Transport failure (lost segment, dead host): the RC transport retransmits
-  // the work request with exponential backoff, transparently to the consumer.
+  // the work request with capped exponential backoff, transparently to the
+  // consumer. Under DCQCN the loss doubles as a congestion signal — the RP
+  // cuts its rate like on a CNP, so retransmissions into a hot queue arrive
+  // paced instead of re-synchronized.
   if (retry_attempts_ < nic_->cost().rdma_transport_retry_count) {
-    const int64_t backoff = nic_->cost().rdma_transport_retry_base_ns << retry_attempts_;
+    const int64_t backoff = TransportBackoffNs(nic_->cost(), retry_attempts_);
     ++retry_attempts_;
     ++nic_->stats_.retransmissions;
+    if (nic_->fabric()->congestion().dcqcn) DcqcnDecrease();
     sim::TraceInstant(StrCat("host", nic_->host_id(), ".nic"),
                       StrCat("retransmit qp", qp_num_, " wr", wr.wr_id, " attempt ",
                              retry_attempts_),
@@ -363,7 +481,7 @@ void QueuePair::ExecuteBatch() {
   batch_cursor_base_ = 0;
   nic_->fabric()->Transfer(
       nic_->host_id(), target_nic->host_id(), total, net::Plane::kRdma,
-      nic_->cost().rdma_nic_processing_ns + EngineDelayNs(total),
+      nic_->cost().rdma_nic_processing_ns + EngineDelayNs(total) + DcqcnDelayNs(total),
       [this](uint64_t offset, uint64_t length) {
         while (length > 0) {
           const SendWorkRequest& wr = current_[batch_cursor_idx_];
@@ -383,7 +501,8 @@ void QueuePair::ExecuteBatch() {
           }
         }
       },
-      [this](Status status) { CompleteBatchWire(status); });
+      [this](Status status) { CompleteBatchWire(status); },
+      [this](int64_t deliver_ns) { OnEcnFeedback(deliver_ns); });
 }
 
 void QueuePair::CompleteBatchWire(const Status& status) {
@@ -396,12 +515,14 @@ void QueuePair::CompleteBatchWire(const Status& status) {
     FinishBatch(OkStatus(), /*ok=*/true);
     return;
   }
-  // The RC transport retransmits the whole chain with exponential backoff,
-  // mirroring the single-WR path.
+  // The RC transport retransmits the whole chain with capped exponential
+  // backoff, mirroring the single-WR path (including the DCQCN
+  // loss-as-congestion-signal decrease).
   if (retry_attempts_ < nic_->cost().rdma_transport_retry_count) {
-    const int64_t backoff = nic_->cost().rdma_transport_retry_base_ns << retry_attempts_;
+    const int64_t backoff = TransportBackoffNs(nic_->cost(), retry_attempts_);
     ++retry_attempts_;
     ++nic_->stats_.retransmissions;
+    if (nic_->fabric()->congestion().dcqcn) DcqcnDecrease();
     sim::TraceInstant(StrCat("host", nic_->host_id(), ".nic"),
                       StrCat("retransmit qp", qp_num_, " batch of ", current_.size(),
                              " attempt ", retry_attempts_),

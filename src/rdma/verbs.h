@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +32,27 @@
 
 namespace rdmadl {
 namespace rdma {
+
+// Capped exponential backoff: min(base << attempt, cap), safe for any attempt
+// (the naive `base << attempt` overflows int64 past attempt ~40 and goes
+// negative, which would schedule events in the past). Shared by the RC
+// transport-retry schedule and the DCQCN CNP moderation timer.
+inline int64_t CappedBackoffNs(int64_t base_ns, int attempt, int64_t cap_ns) {
+  if (base_ns <= 0) return 0;
+  if (cap_ns <= 0) cap_ns = std::numeric_limits<int64_t>::max();
+  if (base_ns >= cap_ns) return cap_ns;
+  // base << attempt overflows (or exceeds the cap) exactly when
+  // base > cap >> attempt; attempt >= 63 always saturates.
+  if (attempt < 0) attempt = 0;
+  if (attempt >= 63 || base_ns > (cap_ns >> attempt)) return cap_ns;
+  return base_ns << attempt;
+}
+
+// The transport retransmission delay before attempt |attempt| (0-based).
+inline int64_t TransportBackoffNs(const net::CostModel& cost, int attempt) {
+  return CappedBackoffNs(cost.rdma_transport_retry_base_ns, attempt,
+                         cost.rdma_transport_retry_max_ns);
+}
 
 // A registered, RDMA-accessible memory region.
 struct MemoryRegion {
@@ -199,6 +221,25 @@ class QueuePair {
   // Extra initiation delay modeling the per-QP WQE-engine throughput ceiling
   // (cost.rdma_qp_engine_bytes_per_sec); 0 when the ceiling is disabled.
   int64_t EngineDelayNs(uint64_t bytes) const;
+
+  // ---- DCQCN reaction point (active only when the fabric's
+  // CongestionConfig has dcqcn set; zero-cost otherwise) ----
+  // Pacing delay for sending |bytes| at the QP's current rate instead of line
+  // rate, advancing the timer/byte-counter recovery stages first. Charged as
+  // extra initiation delay on every execute, including retransmissions —
+  // which is exactly how a throttled QP spreads an incast burst out.
+  int64_t DcqcnDelayNs(uint64_t bytes);
+  // Receiver-side NP: a delivered segment carried a CE mark. Moderates per
+  // the CNP interval (with capped exponential backoff while the QP already
+  // sits at the rate floor) and schedules the CNP one propagation latency
+  // later.
+  void OnEcnFeedback(int64_t deliver_ns);
+  // Sender-side RP: the CNP arrived — multiplicative rate decrease.
+  void ApplyCnp();
+  // The decrease itself, also invoked (without a CNP) when a transport loss
+  // is detected under DCQCN: a RoCE RP treats a timeout like severe
+  // congestion, which is what de-synchronizes an incast's retry storms.
+  void DcqcnDecrease();
   void FinishCurrent(const SendWorkRequest& wr, Status status, uint64_t bytes);
   // Wire completion for the in-flight WR (current_.front()): success finishes
   // it, a transport failure retries with backoff or errors the QP. When
@@ -224,6 +265,24 @@ class QueuePair {
   QpState state_ = QpState::kReady;
   Status error_cause_;
   int retry_attempts_ = 0;  // Transport retries consumed by the in-flight WR.
+
+  // DCQCN per-QP rate state. Each striped lane is its own QP and so carries
+  // its own rate — the striping×CC interaction the benches measure. Rate
+  // updates are applied lazily on execute (no timer events), which keeps the
+  // event stream, and thus determinism, independent of wall clock.
+  struct Dcqcn {
+    bool initialized = false;
+    double current_rate = 0.0;  // Bytes/sec the QP may inject at.
+    double target_rate = 0.0;   // Recovery ceiling (pre-decrease rate).
+    double alpha = 1.0;         // Congestion-extent estimate.
+    int64_t last_decrease_ns = -1;  // <0: never decreased, QP is at line rate.
+    int64_t last_stage_ns = 0;      // Recovery-timer marker.
+    uint64_t bytes_since_stage = 0; // Recovery byte counter.
+    int stage = 0;                  // Completed stages since last decrease.
+    int64_t last_cnp_ns = -1;       // NP-side moderation marker.
+    int cnp_backoff = 0;            // Extra moderation shifts at the floor.
+  };
+  Dcqcn dcqcn_;
   bool engine_busy_ = false;
   Batch current_;             // In-flight batch; valid while engine_busy_.
   size_t batch_cursor_idx_ = 0;   // First WR of current_ not fully delivered.
@@ -252,6 +311,13 @@ struct NicStats {
   uint64_t retransmissions = 0;    // Transport-level segment-loss retries.
   uint64_t flushed_wrs = 0;        // WRs flush-completed by an errored QP.
   uint64_t doorbell_batches = 0;   // Multi-WR chains rung with one doorbell.
+  // ---- Congestion control (all zero unless the fabric models congestion) --
+  uint64_t ecn_marked_segments = 0;   // Delivered segments of this NIC's
+                                      // transfers that carried a CE mark.
+  uint64_t cnps_received = 0;         // CNPs that reached this NIC's QPs.
+  uint64_t dcqcn_rate_decreases = 0;  // Multiplicative decreases applied.
+  uint64_t dcqcn_rate_increases = 0;  // Recovery stages completed.
+  int64_t dcqcn_pacing_delay_ns_total = 0;  // Injection delay added by pacing.
 };
 
 // One RDMA NIC on one host.

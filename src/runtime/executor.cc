@@ -60,8 +60,16 @@ tensor::Allocator* Executor::Wrap(tensor::Allocator* base) {
 
 int64_t Executor::CostOf(const Node& node) const {
   const double per_sample_ns = node.GetAttrOr<double>("cost_ns", 0.0);
-  return options_.op_dispatch_ns +
-         static_cast<int64_t>(per_sample_ns * options_.batch_multiplier);
+  double multiplier = options_.batch_multiplier;
+  // Straggler knob: a chaos-configured host runs its compute slower by the
+  // fault injector's per-host dilation factor (1.0 everywhere when the knob
+  // is off, so the arithmetic below is unchanged byte for byte).
+  const sim::FaultInjector* injector =
+      host_->rdma_device()->nic()->fabric()->fault_injector();
+  if (injector != nullptr && injector->stragglers_configured()) {
+    multiplier *= injector->ComputeDilation(host_->rdma_device()->nic()->host_id());
+  }
+  return options_.op_dispatch_ns + static_cast<int64_t>(per_sample_ns * multiplier);
 }
 
 const graph::TransferEdge& Executor::EdgeOf(const Node& node) const {

@@ -33,6 +33,34 @@ void FaultInjector::CrashHost(int host, int64_t at_ns) {
   if (it == crash_times_.end() || at_ns < it->second) crash_times_[host] = at_ns;
 }
 
+void FaultInjector::ConfigureStragglers(const StragglerSpec& spec, int num_hosts) {
+  straggler_spec_ = spec;
+  dilations_.assign(static_cast<size_t>(num_hosts), 1.0);
+  if (spec.straggler_probability <= 0.0) return;
+  for (int host = 0; host < num_hosts; ++host) {
+    if (rng_.UniformDouble() >= spec.straggler_probability) continue;
+    double factor = spec.dilation_min;
+    if (spec.dilation_max > spec.dilation_min) {
+      factor += rng_.UniformDouble() * (spec.dilation_max - spec.dilation_min);
+    }
+    if (factor > 1.0) ++stats_.stragglers;
+    dilations_[host] = factor;
+  }
+}
+
+double FaultInjector::ComputeDilation(int host) const {
+  if (host < 0 || static_cast<size_t>(host) >= dilations_.size()) return 1.0;
+  return dilations_[host];
+}
+
+int64_t FaultInjector::DrawJitterNs(int, int) {
+  if (straggler_spec_.jitter_max_ns <= 0) return 0;
+  const int64_t jitter = static_cast<int64_t>(
+      rng_.UniformDouble() * static_cast<double>(straggler_spec_.jitter_max_ns));
+  if (jitter > 0) ++stats_.jitter_draws;
+  return jitter;
+}
+
 int FaultInjector::FirstDeadHost(int src_host, int dst_host, int64_t now) const {
   if (HostDead(src_host, now)) return src_host;
   if (HostDead(dst_host, now)) return dst_host;

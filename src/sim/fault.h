@@ -57,11 +57,28 @@ struct DownWindow {
   int64_t until_ns = 0;  // Exclusive: the link is usable again at until_ns.
 };
 
+// Straggler/jitter knob: the chaos dimension where nothing *fails*, the
+// cluster just gets slow and uneven. Per-host compute dilation is drawn once
+// at configuration time (a straggler is a property of a host, not of an
+// instant), per-transfer link jitter is drawn in event order like spikes.
+struct StragglerSpec {
+  // Probability that a host is a straggler; stragglers' compute costs are
+  // multiplied by a uniform draw from [dilation_min, dilation_max].
+  double straggler_probability = 0.0;
+  double dilation_min = 1.0;
+  double dilation_max = 1.0;
+  // Uniform per-transfer propagation jitter in [0, jitter_max_ns], applied to
+  // every transfer on every link. 0 disables (and consumes no randomness).
+  int64_t jitter_max_ns = 0;
+};
+
 struct FaultInjectorStats {
   uint64_t dropped_segments = 0;
   uint64_t forced_drops = 0;
   uint64_t latency_spikes = 0;
   uint64_t crash_rejections = 0;  // Transfers refused because a host is dead.
+  uint64_t stragglers = 0;        // Hosts dilated by ConfigureStragglers.
+  uint64_t jitter_draws = 0;      // Non-zero jitter applied to a transfer.
 };
 
 class FaultInjector {
@@ -86,6 +103,11 @@ class FaultInjector {
   // Fail-stop: every transfer touching |host| at or after |at_ns| fails.
   void CrashHost(int host, int64_t at_ns);
 
+  // Draws each host's compute-dilation factor now (deterministically, in host
+  // order) so later queries consume no randomness. Call before attaching, in
+  // a fixed position of the configuration sequence.
+  void ConfigureStragglers(const StragglerSpec& spec, int num_hosts);
+
   // ---- Queries (fabric side) ----
 
   // First dead endpoint of {src_host, dst_host} at |now|, or -1 if both live.
@@ -97,6 +119,13 @@ class FaultInjector {
   // Extra propagation latency for this transfer (0 = no spike). Consumes
   // randomness when the link's spike probability is non-zero.
   int64_t DrawSpikeNs(int src_host, int dst_host);
+  // Straggler-knob jitter for one transfer (0 when unconfigured, consuming no
+  // randomness so pre-knob seeds keep their draw order).
+  int64_t DrawJitterNs(int src_host, int dst_host);
+  // Compute-cost multiplier for |host|: 1.0 for healthy hosts and whenever
+  // stragglers are unconfigured. Consumes no randomness (drawn up front).
+  double ComputeDilation(int host) const;
+  bool stragglers_configured() const { return !dilations_.empty(); }
 
   const std::vector<DownWindow>& down_windows(int host) const;
   const std::map<int, int64_t>& crash_times() const { return crash_times_; }
@@ -117,6 +146,8 @@ class FaultInjector {
   uint64_t seed_;
   Rng rng_;
   LinkFaultSpec default_spec_;
+  StragglerSpec straggler_spec_;
+  std::vector<double> dilations_;  // Per-host; empty = knob off.
   std::map<std::pair<int, int>, LinkState> links_;
   std::map<int, std::vector<DownWindow>> down_windows_;
   std::map<int, int64_t> crash_times_;

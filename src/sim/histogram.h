@@ -1,0 +1,113 @@
+// Deterministic fixed-bucket latency histogram (HdrHistogram-style).
+//
+// Tail percentiles are the whole point of the congestion work: a mean hides
+// an incast collapse completely. This histogram is built for the simulator's
+// determinism contract rather than for statistical finesse:
+//
+//   * the bucket layout is fixed at compile time — log2 major buckets with 16
+//     linear sub-buckets each (≤ 6.25% relative error), so two same-seed runs
+//     produce bit-identical percentiles on any platform;
+//   * Percentile() returns a bucket's exact lower bound (an int64), never an
+//     interpolated double, so printing it is stable across libm versions;
+//   * no allocation after construction; Merge() is element-wise addition, so
+//     per-worker histograms fold into cluster-wide ones.
+#ifndef RDMADL_SRC_SIM_HISTOGRAM_H_
+#define RDMADL_SRC_SIM_HISTOGRAM_H_
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace rdmadl {
+namespace sim {
+
+class LatencyHistogram {
+ public:
+  // Values 0..15 get exact buckets; above that, 16 sub-buckets per power of
+  // two up to 2^63. 60 major buckets x 16 = 960 counters.
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kNumBuckets = 960;
+
+  void Record(int64_t value_ns) {
+    if (value_ns < 0) value_ns = 0;
+    ++counts_[BucketIndex(value_ns)];
+    ++count_;
+    sum_ += value_ns;
+    if (value_ns < min_ || count_ == 1) min_ = value_ns;
+    if (value_ns > max_) max_ = value_ns;
+  }
+
+  uint64_t count() const { return count_; }
+  int64_t min_ns() const { return count_ == 0 ? 0 : min_; }
+  int64_t max_ns() const { return max_; }
+  int64_t mean_ns() const {
+    return count_ == 0 ? 0 : static_cast<int64_t>(sum_ / count_);
+  }
+
+  // The value at or below which at least |percentile| percent of recordings
+  // fall (nearest-rank, reported as the bucket's lower bound). Deterministic:
+  // pure integer arithmetic. Returns 0 on an empty histogram.
+  int64_t Percentile(double percentile) const {
+    if (count_ == 0) return 0;
+    if (percentile <= 0.0) return min_ns();
+    // Nearest-rank index, computed in integer space: rank = ceil(p/100 * n).
+    uint64_t rank = (static_cast<uint64_t>(percentile * 1000.0) * count_ + 99'999) / 100'000;
+    if (rank < 1) rank = 1;
+    if (rank > count_) rank = count_;
+    uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= rank) return BucketLowerBound(i);
+    }
+    return max_;
+  }
+
+  int64_t P50() const { return Percentile(50.0); }
+  int64_t P99() const { return Percentile(99.0); }
+  int64_t P999() const { return Percentile(99.9); }
+
+  void Merge(const LatencyHistogram& other) {
+    if (other.count_ == 0) return;
+    for (int i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void Reset() {
+    counts_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+  }
+
+  static int BucketIndex(int64_t v) {
+    if (v < kSubBuckets) return static_cast<int>(v);
+    // Major bucket = position of the MSB; sub-bucket = the next 4 bits.
+    const int msb = 63 - std::countl_zero(static_cast<uint64_t>(v));
+    const int sub = static_cast<int>((v >> (msb - 4)) & (kSubBuckets - 1));
+    // msb == 4 (values 16..31) continues seamlessly after the 0..15 region.
+    return (msb - 3) * kSubBuckets + sub;
+  }
+
+  static int64_t BucketLowerBound(int index) {
+    if (index < kSubBuckets) return index;
+    const int msb = index / kSubBuckets + 3;
+    const int sub = index % kSubBuckets;
+    return static_cast<int64_t>(kSubBuckets + sub) << (msb - 4);
+  }
+
+ private:
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace sim
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_SIM_HISTOGRAM_H_

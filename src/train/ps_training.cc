@@ -476,6 +476,7 @@ Status TrainingDriver::QuiesceAfterFailedStep() {
 }
 
 Status TrainingDriver::RunStep() {
+  const int64_t step_start = cluster_->simulator()->Now();
   Status status = RunStepOnce();
   for (int attempt = 0; attempt < config_.max_step_retries; ++attempt) {
     if (status.ok() || !IsRetryableStepFailure(status)) break;
@@ -505,6 +506,11 @@ Status TrainingDriver::RunStep() {
                  << config_.max_step_retries;
     RDMADL_RETURN_IF_ERROR(QuiesceAfterFailedStep());
     status = RunStepOnce();
+  }
+  // Completed steps feed the tail-latency histogram; the recorded duration
+  // includes any retries (that is the latency a training loop observes).
+  if (status.ok()) {
+    step_latencies_.Record(cluster_->simulator()->Now() - step_start);
   }
   return status;
 }

@@ -27,6 +27,7 @@
 #include "src/models/model_spec.h"
 #include "src/net/topology.h"
 #include "src/runtime/session.h"
+#include "src/sim/histogram.h"
 
 namespace rdmadl {
 namespace train {
@@ -190,6 +191,9 @@ class TrainingDriver {
   // Non-null when config.elastic (after Initialize).
   control::MembershipService* membership() { return membership_.get(); }
   control::CheckpointManager* checkpoint() { return checkpoint_.get(); }
+  // Per-step virtual latency of every completed RunStep (retries included),
+  // for tail-latency analysis; never reset across elastic reconfigurations.
+  const sim::LatencyHistogram& step_latencies() const { return step_latencies_; }
   // Machine ids currently carrying workers (shrinks as hosts die).
   const std::vector<int>& worker_machines() const { return worker_machines_; }
   // Device names currently carrying variables, in shard round-robin order.
@@ -225,6 +229,7 @@ class TrainingDriver {
   std::unique_ptr<collective::CollectiveGroup> collective_;
   std::unique_ptr<control::MembershipService> membership_;
   std::unique_ptr<control::CheckpointManager> checkpoint_;
+  sim::LatencyHistogram step_latencies_;
   // Current (elastic) membership. worker_machines_[i] hosts "worker:<id>";
   // ps_devices_ lists the PS device names still alive, paired with the
   // machines that host them in ps_machine_of_.

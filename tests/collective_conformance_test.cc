@@ -159,6 +159,98 @@ TEST(CollectiveConformanceTest, AllAlgorithmsMatchScalarReferenceAcrossShapes) {
   }
 }
 
+// Congested variant of the topology: tiny queue budgets so even the 4-16KB
+// conformance tensors overflow them, PFC-style pauses instead of drops (the
+// schedules must finish, just later), and DCQCN reacting to the marks. Data
+// integrity must be unaffected: congestion moves bytes in time, never in
+// space.
+net::TopologyConfig MakeCongestedTopo(const Shape& shape, bool switch_reduce) {
+  net::TopologyConfig config = MakeTopo(shape, switch_reduce);
+  config.congestion.queue_capacity_bytes = 16 << 10;
+  config.congestion.ecn_threshold_bytes = 2 << 10;
+  config.congestion.pause_on_overflow = true;
+  config.congestion.dcqcn = true;
+  return config;
+}
+
+// ISSUE 8: the full equivalence matrix again with congestion control live.
+// Every algorithm on every topology shape must still match the scalar
+// reference bit-for-bit while queues fill, ECN marks flow, and DCQCN
+// throttles the lanes. The aggregate mark count proves the run was not
+// vacuously uncongested.
+TEST(CollectiveConformanceTest, AllAlgorithmsStayExactUnderCongestion) {
+  const Algorithm algorithms[] = {Algorithm::kRing, Algorithm::kHierarchical,
+                                  Algorithm::kInNetwork, Algorithm::kNaiveGather};
+  const char* algorithm_names[] = {"ring", "hierarchical", "in-network", "naive"};
+  const uint64_t counts[] = {4096, 1031, 257, 255, 3};
+  uint64_t total_marks = 0;
+  uint64_t total_drops = 0;
+  for (const Shape& shape : kShapes) {
+    for (size_t a = 0; a < 4; ++a) {
+      const Algorithm algorithm = algorithms[a];
+      if (algorithm == Algorithm::kInNetwork && shape.hosts_per_rack == 0) {
+        continue;
+      }
+      for (uint64_t count : counts) {
+        World world(shape.hosts,
+                    MakeCongestedTopo(shape, algorithm == Algorithm::kInNetwork));
+        CollectiveOptions options;
+        options.algorithm = algorithm;
+        auto group = world.MakeGroup(shape.hosts, 4096, options);
+        FillInputs(group.get(), count);
+        const std::string label = StrCat("congested ", shape.name, " ",
+                                         algorithm_names[a], " count=", count);
+        ASSERT_TRUE(RunOp(&world, [&](DoneCallback done) {
+                      group->AllReduce(count, std::move(done));
+                    }).ok())
+            << label;
+        ExpectExact(group.get(), count, label);
+        total_marks += world.fabric.congestion_totals().ecn_marks;
+        total_drops += world.fabric.congestion_totals().overflow_drops;
+      }
+    }
+  }
+  EXPECT_GT(total_marks, 0u);   // The queues genuinely filled somewhere.
+  EXPECT_EQ(total_drops, 0u);   // Pause mode never drops.
+}
+
+// Same-seed determinism holds with congestion control in the loop: pauses,
+// marks, and DCQCN rate state are all pure functions of the event order.
+TEST(CollectiveConformanceTest, CongestedSameSeedRunsAreByteIdentical) {
+  for (Algorithm algorithm : {Algorithm::kRing, Algorithm::kHierarchical,
+                              Algorithm::kInNetwork}) {
+    std::string first_trace;
+    int64_t first_now = -1;
+    std::vector<float> first_data;
+    for (int run = 0; run < 2; ++run) {
+      Shape shape{"uneven-4/4/2", 10, 4};
+      World world(shape.hosts,
+                  MakeCongestedTopo(shape, algorithm == Algorithm::kInNetwork));
+      sim::Tracer tracer;
+      sim::Tracer::Install(&tracer);
+      CollectiveOptions options;
+      options.algorithm = algorithm;
+      const uint64_t count = 1031;
+      auto group = world.MakeGroup(shape.hosts, count, options);
+      FillInputs(group.get(), count);
+      ASSERT_TRUE(RunOp(&world, [&](DoneCallback done) {
+                    group->AllReduce(count, std::move(done));
+                  }).ok());
+      sim::Tracer::Install(nullptr);
+      std::vector<float> data(group->data(0), group->data(0) + count);
+      if (run == 0) {
+        first_trace = tracer.ToJson();
+        first_now = world.simulator.Now();
+        first_data = std::move(data);
+      } else {
+        EXPECT_EQ(tracer.ToJson(), first_trace);
+        EXPECT_EQ(world.simulator.Now(), first_now);
+        EXPECT_EQ(data, first_data);
+      }
+    }
+  }
+}
+
 // Pipeline depth changes the lane partition but never the result.
 TEST(CollectiveConformanceTest, HierarchicalExactAcrossPipelineDepths) {
   for (int depth : {1, 3, 8}) {
