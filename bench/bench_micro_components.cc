@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/graph/graph.h"
@@ -114,7 +115,11 @@ void BM_GraphTopologicalSort(benchmark::State& state) {
   graph::Graph graph;
   graph::Node* prev = *graph.AddNode("n0", "Const", std::vector<graph::Node*>{});
   for (int i = 1; i < 500; ++i) {
-    prev = *graph.AddNode("n" + std::to_string(i), "Identity", {prev});
+    // Built in two steps: GCC 12's -Wrestrict misfires on the rvalue
+    // `const char* + std::string&&` concatenation here.
+    std::string name = "n";
+    name += std::to_string(i);
+    prev = *graph.AddNode(name, "Identity", {prev});
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(graph.TopologicalOrder());

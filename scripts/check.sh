@@ -6,11 +6,14 @@
 #   scripts/check.sh              # plain build + ctest, then ASan+UBSan
 #                                 # build + ctest (RDMADL_SANITIZE=address)
 #   scripts/check.sh --sanitize   # sanitizer sweep: ASan+UBSan build + ctest,
-#                                 # then TSan build + ctest
+#                                 # then a standalone UBSan build + ctest
+#                                 # (RDMADL_SANITIZE=undefined, recover
+#                                 # disabled), then TSan build + ctest
 #   scripts/check.sh --plain      # only the plain build + ctest
 #   scripts/check.sh --tidy       # clang-tidy over src/ using the checks in
-#                                 # .clang-tidy (skips with a notice when
-#                                 # clang-tidy is not installed)
+#                                 # .clang-tidy; any warning fails the run
+#                                 # (skips with a notice when clang-tidy is
+#                                 # not installed)
 #   scripts/check.sh --chaos      # plain build, then sweep the seeded chaos
 #                                 # suites over RDMADL_FAULT_SEED=1..10
 #   scripts/check.sh --elastic    # plain build, then sweep the elastic
@@ -53,6 +56,17 @@
 #                                 # elastic tests across the seed list, and
 #                                 # an ASan+UBSan pass over the conformance
 #                                 # binary
+#   scripts/check.sh --explore    # schedule-space exploration (ISSUE 9): the
+#                                 # explorer's own suite (mutations, POR,
+#                                 # minimizer, stall detector), the Explore*
+#                                 # harness bodies in the fault/conformance/
+#                                 # congestion suites under RDMADL_EXPLORE=16,
+#                                 # and the bench_explore report run twice
+#                                 # with stdout diffed (exploration order,
+#                                 # pruning counts and detection schedules
+#                                 # must be byte-identical across runs). A
+#                                 # smoke subset rides the default flow via
+#                                 # the `explore` ctest label.
 #
 # The chaos/elastic/check/scale suites are also registered as ctest labels,
 # so `ctest -L chaos` / `ctest -L elastic` / `ctest -L check` /
@@ -82,6 +96,7 @@ for arg in "$@"; do
     --scale) MODE=scale ;;
     --collectives) MODE=collectives ;;
     --congestion) MODE=congestion ;;
+    --explore) MODE=explore ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -141,6 +156,26 @@ congestion_seed_run() {
   rm -f "$out_a" "$out_b"
 }
 
+# Exploration smoke: the bench_explore report (POR state reduction, seeded
+# mutation detection, clean baselines) run twice with stdout diffed. The
+# explorer enumerates schedules from a deterministic DFS over commutation
+# points, so pruning counts, detection schedules and minimized repro sizes
+# must be byte-identical across runs; wall-clock throughput goes to stderr.
+explore_smoke() {
+  local build_dir="$1"
+  local out_a out_b
+  out_a="$(mktemp)" && out_b="$(mktemp)"
+  "$build_dir/bench/bench_explore" >"$out_a" 2>/dev/null
+  "$build_dir/bench/bench_explore" >"$out_b" 2>/dev/null
+  if ! diff -u "$out_a" "$out_b"; then
+    echo "explore smoke FAILED: bench_explore stdout differs between runs" >&2
+    rm -f "$out_a" "$out_b"
+    exit 1
+  fi
+  rm -f "$out_a" "$out_b"
+  echo "explore smoke passed (schedule exploration deterministic, mutations caught)"
+}
+
 # Cluster-scale smoke: bench_scale --smoke runs a 256-host ring all-reduce
 # and a 256-host colocated-PS training step, with RdmaCheck installed and a
 # seeded chaos storm (latency spikes + link-down windows — delay-only, so the
@@ -169,6 +204,7 @@ case "$MODE" in
     ;;
   sanitize)
     build_and_test address "${BUILD_DIR:-build-sanitize}"
+    build_and_test undefined "${BUILD_DIR:-build-ubsan}"
     build_and_test thread "${BUILD_DIR:-build-tsan}"
     ;;
   both)
@@ -177,6 +213,7 @@ case "$MODE" in
     scale_smoke "${BUILD_DIR:-build}"
     congestion_seed_run "${BUILD_DIR:-build}" 1
     echo "congestion smoke passed (seed 1 deterministic and checker-clean)"
+    explore_smoke "${BUILD_DIR:-build}"
     build_and_test address "${BUILD_DIR:-build-sanitize}"
     ;;
   tidy)
@@ -188,7 +225,7 @@ case "$MODE" in
     fi
     plain_build
     mapfile -t sources < <(find src -name '*.cc' | sort)
-    clang-tidy -p "$BUILD_DIR" --quiet "${sources[@]}"
+    clang-tidy -p "$BUILD_DIR" --quiet --warnings-as-errors='*' "${sources[@]}"
     echo "clang-tidy passed over ${#sources[@]} source files"
     ;;
   chaos)
@@ -289,5 +326,27 @@ case "$MODE" in
     cmake --build "$SAN_DIR" -j "$JOBS" --target collective_conformance_test
     "$SAN_DIR/tests/collective_conformance_test" --gtest_brief=1
     echo "collective conformance sweep passed"
+    ;;
+  explore)
+    # Schedule-space exploration sweep (ISSUE 9). The explorer's own suite
+    # runs first — tie permutations, timing perturbations, POR pruning
+    # invariants, the stall detector, the ddmin minimizer, and the four
+    # seeded protocol mutations the explorer must catch — in canonical mode
+    # and then with RDMADL_EXPLORE=16 so every ExploreForTest body actually
+    # enumerates schedules. The Explore* harness bodies embedded in the
+    # fault, conformance and congestion suites run under the same bound:
+    # retry cursors, flat-ring all-reduce and DCQCN incast must stay clean
+    # under every explored ordering. Finally the bench_explore report runs
+    # twice with stdout diffed.
+    plain_build
+    "$BUILD_DIR/tests/explore_test" --gtest_brief=1
+    RDMADL_EXPLORE=16 "$BUILD_DIR/tests/explore_test" --gtest_brief=1
+    for suite in fault_test collective_conformance_test congestion_test; do
+      echo "=== explore harness: $suite (RDMADL_EXPLORE=16) ==="
+      RDMADL_EXPLORE=16 "$BUILD_DIR/tests/$suite" --gtest_brief=1 \
+        --gtest_filter='Explore*'
+    done
+    explore_smoke "$BUILD_DIR"
+    echo "exploration sweep passed (explorer suite, harness bodies, bench report)"
     ;;
 esac

@@ -1,0 +1,101 @@
+#include "src/check/explore.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/check/rdma_check.h"
+#include "src/util/strings.h"
+
+namespace rdmadl {
+namespace check {
+
+namespace {
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// What was the run waiting on: the flags still being polled and the writes
+// still in flight, straight from the checker's shadow state.
+std::string StallMessage(const RdmaCheck& checker) {
+  std::string msg;
+  const std::vector<RdmaCheck::PendingFlag> flags = checker.PendingFlags();
+  const std::vector<RdmaCheck::PendingWrite> writes = checker.PendingWrites();
+  if (flags.empty() && writes.empty()) {
+    return "no tracked flag or write was pending (stall outside the RDMA protocol layer)";
+  }
+  for (const RdmaCheck::PendingFlag& f : flags) {
+    if (!msg.empty()) msg += "; ";
+    msg += StrCat("host", f.host, " waiting on flag@0x", Hex(f.addr), " (edge '", f.edge_key,
+                  "', ", f.polls, " missed poll(s), last at t=", f.last_poll_ns, "ns)");
+  }
+  for (const RdmaCheck::PendingWrite& w : writes) {
+    if (!msg.empty()) msg += "; ";
+    msg += StrCat("write host", w.src_host, "->host", w.dst_host, " qp", w.qp_num, " wr",
+                  w.wr_id, " in flight (", w.delivered, "/", w.length, " bytes delivered)");
+  }
+  return msg;
+}
+
+}  // namespace
+
+sim::ExploreWorkload CheckedWorkload(WorkloadBody body) {
+  return [body = std::move(body)](sim::Simulator& simulator) -> sim::RunReport {
+    RdmaCheckOptions options;
+    options.track_polled_flags = true;
+    RdmaCheck checker(options);
+    sim::RunReport report;
+    report.status = body(simulator);
+
+    // Protocol diagnostics are the most specific verdict: a run that both
+    // violated an invariant and then stalled is classified by the violation.
+    const std::vector<Diagnostic>& diags = checker.Finalize();
+    if (!diags.empty()) {
+      report.failure_class = StrCat("check:", DiagKindName(diags.front().kind));
+      report.details = checker.Report();
+      return report;
+    }
+    if (report.status.ok()) return report;
+
+    sim::StallKind kind = sim::StallKind::kNone;
+    const std::string& message = report.status.message();
+    if (report.status.code() == StatusCode::kFailedPrecondition &&
+        Contains(message, "drained") && simulator.empty()) {
+      kind = sim::StallKind::kDeadlock;
+    } else if (report.status.code() == StatusCode::kDeadlineExceeded &&
+               Contains(message, "event cap")) {
+      kind = sim::StallKind::kLivelock;
+    } else if (report.status.code() == StatusCode::kDeadlineExceeded) {
+      kind = sim::StallKind::kTimeout;
+    }
+    if (kind == sim::StallKind::kNone) {
+      report.failure_class = StrCat("fail:", StatusCodeToString(report.status.code()));
+      report.details = report.status.ToString();
+      return report;
+    }
+    report.stall.kind = kind;
+    report.stall.message = StallMessage(checker);
+    report.failure_class = StrCat("stall:", sim::StallKindName(kind));
+    report.details = StrCat(report.status.ToString(), "\n", report.stall.message);
+    return report;
+  };
+}
+
+sim::ExploreResult ExploreForTest(const std::string& name, WorkloadBody body) {
+  sim::ExploreOptions options;
+  options.name = name;
+  const int bound = sim::ExploreBoundFromEnv();
+  if (bound > 0) {
+    options.max_schedules = bound;
+  } else {
+    // No env opt-in: one canonical, fully-checked replay.
+    options.max_schedules = 1;
+    options.jitter_schedules = 0;
+  }
+  sim::Explorer explorer(options);
+  return explorer.Explore(CheckedWorkload(std::move(body)));
+}
+
+}  // namespace check
+}  // namespace rdmadl

@@ -1,0 +1,49 @@
+// Check-layer glue for the schedule explorer (sim/explore.h).
+//
+// The sim layer enumerates schedules but cannot judge them — the protocol
+// invariants live in RdmaCheck, which the sim library must not depend on.
+// CheckedWorkload closes the loop: it wraps a workload body so that every
+// replay runs under a fresh RdmaCheck (with poll tracking on, so the stall
+// detector knows which flag bytes a stuck run was starving on) and converts
+// what happened into the explorer's schedule-independent failure classes:
+//
+//   "check:<diag-kind>"  a protocol invariant fired (premature-flag-read, ...)
+//   "stall:deadlock"     event queue drained with the workload incomplete
+//   "stall:livelock"     event cap hit (pollers spinning without progress)
+//   "stall:timeout"      virtual-time deadline elapsed
+//   "fail:<status-code>" any other non-OK status
+//   ""                   clean run
+//
+// Stalls carry a typed diagnostic naming the flags still being polled (host,
+// address, edge, miss count) and the writes still in flight — the concrete
+// answer to "what was the run waiting on".
+#ifndef RDMADL_SRC_CHECK_EXPLORE_H_
+#define RDMADL_SRC_CHECK_EXPLORE_H_
+
+#include <functional>
+#include <string>
+
+#include "src/sim/explore.h"
+#include "src/sim/simulator.h"
+#include "src/util/status.h"
+
+namespace rdmadl {
+namespace check {
+
+// A workload body: builds its world on the fresh simulator, runs it, and
+// returns the terminal status (RunUntilPredicate's result, typically).
+using WorkloadBody = std::function<Status(sim::Simulator&)>;
+
+// Wraps |body| with per-replay RdmaCheck shadowing + failure classification.
+sim::ExploreWorkload CheckedWorkload(WorkloadBody body);
+
+// Suite entry point mirroring RDMADL_CHECK's opt-in shape: with
+// RDMADL_EXPLORE=<bound> set, explores up to <bound> schedules; otherwise
+// replays only the canonical schedule (still fully checked), so the wired
+// suites cost one extra run by default.
+sim::ExploreResult ExploreForTest(const std::string& name, WorkloadBody body);
+
+}  // namespace check
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_CHECK_EXPLORE_H_

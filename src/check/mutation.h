@@ -1,0 +1,83 @@
+// Seeded protocol mutations for explorer self-validation.
+//
+// A model checker that has never caught a bug proves nothing: maybe the
+// protocol is correct, maybe the checker is blind. Each mutation here
+// re-introduces a real class of zero-copy protocol bug at its natural seam
+// in the product code (transfer engine, QP engine, flag pollers); the
+// explorer test suite turns one on, explores, and asserts the bug is caught
+// within a bounded number of schedules. Production behavior is untouched:
+// every seam is a branch on a process-wide bitmask that is zero except
+// inside a ScopedMutation.
+#ifndef RDMADL_SRC_CHECK_MUTATION_H_
+#define RDMADL_SRC_CHECK_MUTATION_H_
+
+#include <cstdint>
+
+namespace rdmadl {
+namespace check {
+
+enum Mutation : uint32_t {
+  // Transfer engine posts the completion flag after the FIRST stripe
+  // completes instead of the last: the receiver can trust the flag while
+  // sibling stripes are still landing (§3.2 payload-before-flag violated).
+  kFlagBeforeLastStripe = 1u << 0,
+  // QP engine resumes a retried write from its delivery cursor instead of
+  // rewriting from offset 0: segments land at a non-zero offset after the
+  // shadow cursor reset (ascending-delivery contract violated).
+  kRetryKeepsCursor = 1u << 1,
+  // Receiver acts on the payload after a poll miss, as if the flag were
+  // already set (premature flag trust).
+  kPrematureFlagTrust = 1u << 2,
+  // Sender silently skips the flag write: the receiver polls forever — the
+  // stall detector's bread and butter.
+  kSkipFlagWrite = 1u << 3,
+};
+
+constexpr uint32_t kAllMutations =
+    kFlagBeforeLastStripe | kRetryKeepsCursor | kPrematureFlagTrust | kSkipFlagWrite;
+
+inline const char* MutationName(Mutation m) {
+  switch (m) {
+    case kFlagBeforeLastStripe:
+      return "flag-before-last-stripe";
+    case kRetryKeepsCursor:
+      return "retry-keeps-cursor";
+    case kPrematureFlagTrust:
+      return "premature-flag-trust";
+    case kSkipFlagWrite:
+      return "skip-flag-write";
+  }
+  return "?";
+}
+
+namespace internal {
+inline uint32_t& ActiveMutations() {
+  static uint32_t active = 0;
+  return active;
+}
+}  // namespace internal
+
+// The product-code seam: one load + test when no mutation is armed.
+inline bool MutationEnabled(Mutation m) {
+  return (internal::ActiveMutations() & m) != 0;
+}
+
+// Arms |mask| for the current scope (nests by OR-ing; restores on exit).
+class ScopedMutation {
+ public:
+  explicit ScopedMutation(uint32_t mask) : saved_(internal::ActiveMutations()) {
+    internal::ActiveMutations() = saved_ | mask;
+  }
+  ~ScopedMutation() { internal::ActiveMutations() = saved_; }
+
+  ScopedMutation(const ScopedMutation&) = delete;
+  ScopedMutation& operator=(const ScopedMutation&) = delete;
+
+ private:
+  uint32_t saved_;
+};
+
+}  // namespace check
+}  // namespace rdmadl
+
+#endif  // RDMADL_SRC_CHECK_MUTATION_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/sim/explore.h"
 #include "src/sim/trace.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
@@ -32,18 +33,19 @@ const char* DiagKindName(DiagKind kind) {
       return "leaked-arena-block";
     case DiagKind::kQpDestroyedInFlight:
       return "qp-destroyed-in-flight";
+    case DiagKind::kTornRead:
+      return "torn-read";
   }
   return "?";
 }
 
-RdmaCheck::RdmaCheck(RdmaCheckOptions options) : options_(options) {
-  CHECK(current_ == nullptr) << "an RdmaCheck is already installed";
+RdmaCheck::RdmaCheck(RdmaCheckOptions options) : parent_(current_), options_(options) {
   current_ = this;
 }
 
 RdmaCheck::~RdmaCheck() {
-  CHECK(current_ == this);
-  current_ = nullptr;
+  CHECK(current_ == this) << "RdmaCheck installs must nest LIFO";
+  current_ = parent_;
 }
 
 void RdmaCheck::Emit(DiagKind kind, std::string message, int src_host, int dst_host,
@@ -116,6 +118,7 @@ bool RdmaCheck::CheckTarget(const char* verb, int src_host, int dst_host, uint32
 void RdmaCheck::WritePosted(int src_host, int dst_host, uint32_t qp_num, uint64_t wr_id,
                             uint64_t remote_addr, uint64_t length, uint32_t rkey,
                             int64_t now_ns) {
+  sim::OnExploreAccess(dst_host, remote_addr, remote_addr + length);
   const WriteKey key(src_host, qp_num, wr_id);
   auto existing = inflight_.find(key);
   if (existing != inflight_.end()) {
@@ -162,6 +165,7 @@ void RdmaCheck::WriteSegment(int src_host, uint32_t qp_num, uint64_t wr_id, uint
   auto it = inflight_.find(WriteKey(src_host, qp_num, wr_id));
   if (it == inflight_.end()) return;
   InflightWrite& w = it->second;
+  sim::OnExploreAccess(w.dst_host, w.remote_addr + offset, w.remote_addr + offset + length);
   if (offset != w.delivered) {
     Emit(DiagKind::kNonAscendingSegment,
          StrCat("segment of RDMA_WRITE host", src_host, "->host", w.dst_host, " qp", qp_num,
@@ -188,12 +192,17 @@ void RdmaCheck::WriteSegment(int src_host, uint32_t qp_num, uint64_t wr_id, uint
 
 void RdmaCheck::WriteFinished(int src_host, uint32_t qp_num, uint64_t wr_id, int64_t now_ns) {
   (void)now_ns;
-  inflight_.erase(WriteKey(src_host, qp_num, wr_id));
+  auto it = inflight_.find(WriteKey(src_host, qp_num, wr_id));
+  if (it == inflight_.end()) return;
+  const InflightWrite& w = it->second;
+  sim::OnExploreAccess(w.dst_host, w.remote_addr, w.remote_addr + w.length);
+  inflight_.erase(it);
 }
 
 void RdmaCheck::ReadPosted(int src_host, int target_host, uint32_t qp_num, uint64_t wr_id,
                            uint64_t remote_addr, uint64_t length, uint32_t rkey,
                            int64_t now_ns) {
+  sim::OnExploreAccess(target_host, remote_addr, remote_addr + length);
   CheckTarget("RDMA_READ", src_host, target_host, qp_num, wr_id, remote_addr, length, rkey,
               now_ns);
 }
@@ -285,29 +294,80 @@ void RdmaCheck::FlagLocation(int dst_host, const void* flag_addr, const std::str
 
 void RdmaCheck::FlagSetLocally(int dst_host, const void* flag_addr, int64_t now_ns) {
   (void)now_ns;
-  auto it = flags_.find({dst_host, reinterpret_cast<uint64_t>(flag_addr)});
-  if (it != flags_.end()) it->second.landed = true;
+  const uint64_t addr = reinterpret_cast<uint64_t>(flag_addr);
+  sim::OnExploreAccess(dst_host, addr, addr + 1);
+  auto it = flags_.find({dst_host, addr});
+  if (it != flags_.end()) {
+    it->second.landed = true;
+    it->second.polls = 0;  // Progress: the receiver is no longer starved.
+  }
 }
 
 void RdmaCheck::FlagCleared(int dst_host, const void* flag_addr) {
-  auto it = flags_.find({dst_host, reinterpret_cast<uint64_t>(flag_addr)});
+  const uint64_t addr = reinterpret_cast<uint64_t>(flag_addr);
+  sim::OnExploreAccess(dst_host, addr, addr + 1);
+  auto it = flags_.find({dst_host, addr});
   if (it != flags_.end()) it->second.landed = false;
 }
 
 void RdmaCheck::FlagTrusted(int dst_host, const void* flag_addr, int64_t now_ns) {
-  auto it = flags_.find({dst_host, reinterpret_cast<uint64_t>(flag_addr)});
+  const uint64_t addr = reinterpret_cast<uint64_t>(flag_addr);
+  sim::OnExploreAccess(dst_host, addr, addr + 1);
+  auto it = flags_.find({dst_host, addr});
   if (it == flags_.end()) return;  // Declared before the checker existed.
-  if (!it->second.landed) {
+  FlagShadow& f = it->second;
+  f.polls = 0;
+  if (!f.landed) {
     Emit(DiagKind::kPrematureFlagRead,
-         StrCat("edge ", it->second.edge_key, " host", dst_host, " trusted flag at addr=",
-                reinterpret_cast<uint64_t>(flag_addr), " at t=", now_ns,
-                "ns before any write covering the flag byte landed"),
+         StrCat("edge ", f.edge_key, " host", dst_host, " trusted flag at addr=", addr,
+                " at t=", now_ns, "ns before any write covering the flag byte landed"),
          /*src_host=*/-1, dst_host, /*qp_num=*/0, /*wr_id=*/0, now_ns);
+    return;
+  }
+  if (f.guard_lo >= f.guard_hi) return;
+  // Torn read: the flag byte has landed but some write into the guarded
+  // payload range still has undelivered bytes. Only the *undelivered suffix*
+  // counts — a doorbell batch posts every WR at once, and fully-delivered
+  // but not-yet-completed writes are not torn.
+  for (const auto& [key, w] : inflight_) {
+    if (w.dst_host != dst_host || w.delivered >= w.length) continue;
+    const uint64_t undeliv_lo = w.remote_addr + w.delivered;
+    const uint64_t undeliv_hi = w.remote_addr + w.length;
+    if (undeliv_lo < f.guard_hi && f.guard_lo < undeliv_hi) {
+      Emit(DiagKind::kTornRead,
+           StrCat("edge ", f.edge_key, " host", dst_host, " trusted flag at addr=", addr,
+                  " at t=", now_ns, "ns while write host", std::get<0>(key), " qp",
+                  std::get<1>(key), " wr", std::get<2>(key), " into guarded range [",
+                  f.guard_lo, ", ", f.guard_hi, ") has ", w.length - w.delivered,
+                  " undelivered byte(s) at [", undeliv_lo, ", ", undeliv_hi, ")"),
+           std::get<0>(key), dst_host, std::get<1>(key), std::get<2>(key), now_ns);
+    }
   }
 }
 
 void RdmaCheck::FlagForgotten(int dst_host, const void* flag_addr) {
   flags_.erase({dst_host, reinterpret_cast<uint64_t>(flag_addr)});
+}
+
+void RdmaCheck::FlagPolled(int dst_host, const void* flag_addr, int64_t now_ns) {
+  const uint64_t addr = reinterpret_cast<uint64_t>(flag_addr);
+  sim::OnExploreAccess(dst_host, addr, addr + 1);
+  auto it = flags_.find({dst_host, addr});
+  if (it == flags_.end()) {
+    if (!options_.track_polled_flags) return;
+    it = flags_.emplace(std::make_pair(dst_host, addr), FlagShadow{}).first;
+    it->second.edge_key = "(auto:polled)";
+  }
+  ++it->second.polls;
+  it->second.last_poll_ns = now_ns;
+}
+
+void RdmaCheck::FlagGuards(int dst_host, const void* flag_addr, const void* guard_base,
+                           uint64_t guard_bytes) {
+  auto it = flags_.find({dst_host, reinterpret_cast<uint64_t>(flag_addr)});
+  if (it == flags_.end()) return;  // Guards attach to declared flags only.
+  it->second.guard_lo = reinterpret_cast<uint64_t>(guard_base);
+  it->second.guard_hi = it->second.guard_lo + guard_bytes;
 }
 
 void RdmaCheck::CoverFlags(int dst_host, uint64_t addr, uint64_t len) {
@@ -316,7 +376,42 @@ void RdmaCheck::CoverFlags(int dst_host, uint64_t addr, uint64_t len) {
   for (; it != flags_.end(); ++it) {
     if (it->first.first != dst_host || it->first.second >= addr + len) break;
     it->second.landed = true;
+    it->second.polls = 0;  // Progress: the awaited write arrived.
   }
+}
+
+// --------------------------------------------------------- stall introspection
+
+std::vector<RdmaCheck::PendingFlag> RdmaCheck::PendingFlags() const {
+  std::vector<PendingFlag> pending;
+  for (const auto& [key, f] : flags_) {
+    if (f.polls == 0) continue;
+    PendingFlag p;
+    p.host = key.first;
+    p.addr = key.second;
+    p.edge_key = f.edge_key;
+    p.polls = f.polls;
+    p.last_poll_ns = f.last_poll_ns;
+    pending.push_back(std::move(p));
+  }
+  return pending;
+}
+
+std::vector<RdmaCheck::PendingWrite> RdmaCheck::PendingWrites() const {
+  std::vector<PendingWrite> pending;
+  for (const auto& [key, w] : inflight_) {
+    PendingWrite p;
+    p.src_host = std::get<0>(key);
+    p.qp_num = std::get<1>(key);
+    p.wr_id = std::get<2>(key);
+    p.dst_host = w.dst_host;
+    p.remote_addr = w.remote_addr;
+    p.length = w.length;
+    p.delivered = w.delivered;
+    p.posted_at_ns = w.posted_at_ns;
+    pending.push_back(p);
+  }
+  return pending;
 }
 
 // ------------------------------------------------------------------ teardown

@@ -55,6 +55,9 @@ enum class DiagKind {
   kLeakedArenaBlock,     // Arena destroyed with live carve-outs.
   kQpDestroyedInFlight,  // QP destroyed (e.g. pool eviction) with a WR in
                          // flight: its wire events would touch freed state.
+  kTornRead,             // Flag trusted while a write into its guarded payload
+                         // range still had undelivered bytes: the reader would
+                         // observe a half-written payload.
 };
 
 const char* DiagKindName(DiagKind kind);
@@ -72,10 +75,21 @@ struct Diagnostic {
 struct RdmaCheckOptions {
   bool fail_fast = false;   // LOG(FATAL) on the first diagnostic.
   bool check_leaks = true;  // MR / arena-carve-out accounting at teardown.
+  // Auto-register flag bytes at their first observed poll miss (FlagPolled)
+  // even without a FlagLocation declaration, and count polls. Off by default:
+  // the collective planes set flags through paths the verbs hooks never see
+  // (in-network emulation, staged TCP), and tracking those would manufacture
+  // premature-read false positives. The schedule explorer's harness enables
+  // it — under exploration every world is built with the checker installed,
+  // so every flag's covering write *is* visible.
+  bool track_polled_flags = false;
 };
 
 // The checker itself. Construction installs it as the process-wide current
-// checker (LOG(FATAL) if one is already installed); destruction uninstalls.
+// checker; destruction uninstalls. Installs nest LIFO: constructing a second
+// checker shadows the first until the second is destroyed (the schedule
+// explorer installs a fresh checker per replay under the env-gated test
+// listener's checker; the outer checker simply observes nothing meanwhile).
 // All hooks below route through Current(), so everything built before the
 // checker existed is simply invisible to it — installing mid-world is safe,
 // events about untracked objects are ignored.
@@ -135,9 +149,20 @@ class RdmaCheck {
   void FlagCleared(int dst_host, const void* flag_addr);
   // The receiver observed the flag nonzero and is about to act on the
   // payload. Valid only if a tracked write covering the flag byte has landed
-  // (or the flag was set locally) since the last clear.
+  // (or the flag was set locally) since the last clear — and, when a guard
+  // range is declared, no in-flight write into that range still has
+  // undelivered bytes (torn read).
   void FlagTrusted(int dst_host, const void* flag_addr, int64_t now_ns);
   void FlagForgotten(int dst_host, const void* flag_addr);
+  // The receiver polled the flag and saw it still zero — a miss. With
+  // track_polled_flags set this auto-registers the flag byte and counts the
+  // miss; the poll counters feed the stall detector's "what was the run
+  // waiting on" diagnostic and reset whenever the flag makes progress.
+  void FlagPolled(int dst_host, const void* flag_addr, int64_t now_ns);
+  // Declares [guard_base, guard_base + guard_bytes) the payload protected by
+  // |flag_addr|: trusting the flag asserts the whole range has landed.
+  void FlagGuards(int dst_host, const void* flag_addr, const void* guard_base,
+                  uint64_t guard_bytes);
 
   // ---- congestion control ----
   // Records ECN/DCQCN activity so congestion-era tests can assert both that
@@ -151,6 +176,30 @@ class RdmaCheck {
   uint64_t congestion_signal_count(CongestionSignal signal) const {
     return congestion_signals_[static_cast<int>(signal)];
   }
+
+  // ---- stall introspection (schedule explorer's deadlock detector) ----
+  // Flags the receivers are still polling for (missed at least one poll since
+  // the flag last made progress) and writes still in flight: together, what a
+  // stuck run was waiting on.
+  struct PendingFlag {
+    int host = -1;
+    uint64_t addr = 0;
+    std::string edge_key;
+    uint64_t polls = 0;       // Misses since the last cover/local-set.
+    int64_t last_poll_ns = 0;
+  };
+  struct PendingWrite {
+    int src_host = -1;
+    int dst_host = -1;
+    uint32_t qp_num = 0;
+    uint64_t wr_id = 0;
+    uint64_t remote_addr = 0;
+    uint64_t length = 0;
+    uint64_t delivered = 0;
+    int64_t posted_at_ns = 0;
+  };
+  std::vector<PendingFlag> PendingFlags() const;
+  std::vector<PendingWrite> PendingWrites() const;
 
   // Runs the teardown checks (leaked MRs) once and returns every diagnostic
   // recorded so far. Idempotent.
@@ -194,6 +243,10 @@ class RdmaCheck {
   struct FlagShadow {
     std::string edge_key;
     bool landed = false;  // A covering write landed (or local set) since clear.
+    uint64_t guard_lo = 0;  // Guarded payload range; lo == hi means no guard.
+    uint64_t guard_hi = 0;
+    uint64_t polls = 0;  // Misses since the flag last made progress.
+    int64_t last_poll_ns = 0;
   };
 
   using WriteKey = std::tuple<int, uint32_t, uint64_t>;  // (src_host, qp, wr_id)
@@ -211,6 +264,7 @@ class RdmaCheck {
 
   static RdmaCheck* current_;
 
+  RdmaCheck* parent_ = nullptr;  // Shadowed checker restored at destruction.
   RdmaCheckOptions options_;
   std::vector<Diagnostic> diagnostics_;
   bool finalized_ = false;
@@ -304,6 +358,15 @@ inline void OnFlagTrusted(int dst_host, const void* flag_addr, int64_t now_ns) {
 }
 inline void OnFlagForgotten(int dst_host, const void* flag_addr) {
   if (RdmaCheck* c = RdmaCheck::Current()) c->FlagForgotten(dst_host, flag_addr);
+}
+inline void OnFlagPolled(int dst_host, const void* flag_addr, int64_t now_ns) {
+  if (RdmaCheck* c = RdmaCheck::Current()) c->FlagPolled(dst_host, flag_addr, now_ns);
+}
+inline void OnFlagGuards(int dst_host, const void* flag_addr, const void* guard_base,
+                         uint64_t guard_bytes) {
+  if (RdmaCheck* c = RdmaCheck::Current()) {
+    c->FlagGuards(dst_host, flag_addr, guard_base, guard_bytes);
+  }
 }
 inline void OnCongestionSignal(RdmaCheck::CongestionSignal signal) {
   if (RdmaCheck* c = RdmaCheck::Current()) c->CongestionEvent(signal);

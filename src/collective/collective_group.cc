@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/check/mutation.h"
 #include "src/check/rdma_check.h"
 #include "src/collective/internal.h"
 #include "src/net/fabric.h"
@@ -876,14 +877,22 @@ void CollectiveGroup::StartWaiter(const std::shared_ptr<Op>& op, int rank, int f
   waiter->flag_base = flag_base;
   waiter->num_flags = num_flags;
   waiter->on_arrival = std::move(on_arrival);
-  simulator()->ScheduleAfter(cost().flag_poll_cost_ns,
-                             [this, op, waiter] { PollWaiter(op, waiter); });
+  // Jittered: poll cadence is scheduling noise, fair game for the explorer.
+  simulator()->ScheduleAfterJittered(cost().flag_poll_cost_ns,
+                                     [this, op, waiter] { PollWaiter(op, waiter); });
 }
 
 void CollectiveGroup::PollWaiter(std::shared_ptr<Op> op, std::shared_ptr<Waiter> waiter) {
   if (op->finished) return;
   Rank* rank = ranks_[waiter->rank].get();
-  if (rank->flags()[waiter->flag_base + waiter->next] != 0) {
+  bool flag_set = rank->flags()[waiter->flag_base + waiter->next] != 0;
+  if (!flag_set) {
+    check::OnFlagPolled(rank->endpoint.host_id,
+                        rank->flags() + waiter->flag_base + waiter->next, simulator()->Now());
+    // Seeded bug (explorer self-validation): trust the flag on a miss.
+    if (check::MutationEnabled(check::kPrematureFlagTrust)) flag_set = true;
+  }
+  if (flag_set) {
     check::OnFlagTrusted(rank->endpoint.host_id,
                          rank->flags() + waiter->flag_base + waiter->next, simulator()->Now());
     waiter->backoff_ns = 0;
@@ -895,8 +904,8 @@ void CollectiveGroup::PollWaiter(std::shared_ptr<Op> op, std::shared_ptr<Waiter>
         FinishUnit(op);
         return;
       }
-      simulator()->ScheduleAfter(cost().flag_poll_cost_ns,
-                                 [this, op, waiter] { PollWaiter(op, waiter); });
+      simulator()->ScheduleAfterJittered(cost().flag_poll_cost_ns,
+                                         [this, op, waiter] { PollWaiter(op, waiter); });
     };
     waiter->on_arrival(index, std::move(resume));
     return;
@@ -906,8 +915,8 @@ void CollectiveGroup::PollWaiter(std::shared_ptr<Op> op, std::shared_ptr<Waiter>
   waiter->backoff_ns = waiter->backoff_ns == 0
                            ? cost().idle_poll_interval_ns
                            : std::min(waiter->backoff_ns * 2, cost().idle_poll_max_interval_ns);
-  simulator()->ScheduleAfter(waiter->backoff_ns + cost().flag_poll_cost_ns,
-                             [this, op, waiter] { PollWaiter(op, waiter); });
+  simulator()->ScheduleAfterJittered(waiter->backoff_ns + cost().flag_poll_cost_ns,
+                                     [this, op, waiter] { PollWaiter(op, waiter); });
 }
 
 }  // namespace collective

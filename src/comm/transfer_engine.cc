@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/check/mutation.h"
 #include "src/util/strings.h"
 
 namespace rdmadl {
@@ -58,8 +59,16 @@ void TransferEngine::FailAsync(device::MemcpyCallback on_done, Status status) {
 
 TransferEngine::Route TransferEngine::WriteWithFlag(const Endpoint& remote,
                                                     const WriteDesc& payload,
-                                                    const WriteDesc& flag, int lane_hint,
+                                                    const WriteDesc& flag_desc, int lane_hint,
                                                     device::MemcpyCallback on_done) {
+  WriteDesc flag = flag_desc;
+  if (payload.bytes > 0 && flag.bytes > 0 &&
+      check::MutationEnabled(check::kSkipFlagWrite)) {
+    // Seeded bug (explorer self-validation): the sender "forgets" the flag
+    // write. The payload lands, the completion fires, and the receiver polls
+    // a flag byte nobody will ever set — the stall detector's target.
+    flag.bytes = 0;
+  }
   if (payload.bytes == 0) {
     return PostDirect(remote, payload, flag, lane_hint, std::move(on_done));
   }
@@ -110,6 +119,14 @@ TransferEngine::Route TransferEngine::PostDirect(const Endpoint& remote,
   if (payload.bytes == 0) {
     channel->Memcpy(flag.local_addr, flag.lkey, flag.remote_addr, flag.rkey, flag.bytes,
                     device::Direction::kLocalToRemote, std::move(on_done), flag.copy_bytes);
+    return Route::kDirect;
+  }
+  if (flag.bytes == 0) {
+    // Payload only (flagless write, or the flag was mutated away): the
+    // payload completion is the one the caller sees.
+    channel->Memcpy(payload.local_addr, payload.lkey, payload.remote_addr, payload.rkey,
+                    payload.bytes, device::Direction::kLocalToRemote, std::move(on_done),
+                    payload.copy_bytes);
     return Route::kDirect;
   }
   // Same-QP FIFO + ascending-address delivery orders the flag behind the
@@ -176,6 +193,7 @@ void TransferEngine::PostStriped(const Endpoint& remote, const WriteDesc& payloa
   struct Join {
     int pending = 0;
     bool failed = false;
+    bool flag_posted = false;  // Set by the kFlagBeforeLastStripe mutation.
     device::MemcpyCallback on_done;
     device::RdmaChannel* flag_channel = nullptr;
     WriteDesc flag;
@@ -203,11 +221,23 @@ void TransferEngine::PostStriped(const Endpoint& remote, const WriteDesc& payloa
               cb(status);
             }
           }
+          if (check::MutationEnabled(check::kFlagBeforeLastStripe) && !join->failed &&
+              !join->flag_posted && join->flag.bytes > 0) {
+            // Seeded bug (explorer self-validation): the flag is posted on
+            // the FIRST stripe completion — sibling stripes are still in
+            // flight, so a receiver that trusts the flag reads a torn
+            // payload.
+            join->flag_posted = true;
+            join->flag_channel->Memcpy(join->flag.local_addr, join->flag.lkey,
+                                       join->flag.remote_addr, join->flag.rkey,
+                                       join->flag.bytes, device::Direction::kLocalToRemote,
+                                       [](const Status&) {}, join->flag.copy_bytes);
+          }
           if (--join->pending > 0 || join->failed) return;
           // Every stripe's completion has been observed: all payload bytes
           // are at the target, so the flag — on any lane — cannot overtake
           // them (the checker's completion-ordering happens-before edge).
-          if (join->flag.bytes == 0) {
+          if (join->flag.bytes == 0 || join->flag_posted) {
             if (join->on_done) {
               device::MemcpyCallback cb = std::move(join->on_done);
               join->on_done = nullptr;
@@ -253,6 +283,19 @@ void TransferEngine::Flush(const Endpoint& remote, PeerQueue* queue) {
     payload_op.rkey = item.payload.rkey;
     payload_op.size = item.payload.bytes;
     payload_op.copy_bytes = item.payload.copy_bytes;
+    if (item.flag.bytes == 0) {
+      // Flagless entry (the flag was mutated away): the payload completion
+      // is the one the caller sees.
+      payload_op.callback = [state](const Status& status) {
+        if (*state) {
+          device::MemcpyCallback cb = std::move(*state);
+          *state = nullptr;
+          cb(status);
+        }
+      };
+      ops.push_back(std::move(payload_op));
+      continue;
+    }
     payload_op.callback = [state](const Status& status) {
       if (!status.ok() && *state) {
         device::MemcpyCallback cb = std::move(*state);

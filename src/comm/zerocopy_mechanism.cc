@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/check/mutation.h"
 #include "src/check/rdma_check.h"
 #include "src/net/fabric.h"
 #include "src/sim/trace.h"
@@ -299,8 +300,18 @@ Status ZeroCopyRdmaMechanism::SetupEdge(EdgeState* s) {
   }
 
   // Declare the edge's completion flag to the protocol checker: TryRecv must
-  // never trust it before a write covering the flag byte has landed.
+  // never trust it before a write covering the flag byte has landed. The
+  // guard range is the payload the flag vouches for — trusting the flag also
+  // asserts every guarded byte has landed (torn-read detection).
   check::OnFlagLocation(s->dst->endpoint().host_id, s->flag_ptr, edge.key);
+  if (s->protocol == Protocol::kStatic) {
+    check::OnFlagGuards(s->dst->endpoint().host_id, s->flag_ptr,
+                        reinterpret_cast<const void*>(s->remote_data.addr),
+                        s->remote_data.length);
+  } else {
+    check::OnFlagGuards(s->dst->endpoint().host_id, s->flag_ptr, s->meta_block,
+                        s->meta_bytes - 1);
+  }
 
   // Channels: spread edges across the configured QPs (§3.1 / Figure 4).
   const int qp_count = s->src->options().num_qps_per_peer;
@@ -659,7 +670,13 @@ bool ZeroCopyRdmaMechanism::TryRecv(const graph::TransferEdge& edge, Tensor* out
   EdgeState* s = it->second.get();
   switch (s->phase) {
     case RecvPhase::kWaiting: {
-      if (*s->flag_ptr == 0) return false;
+      if (*s->flag_ptr == 0) {
+        check::OnFlagPolled(s->dst->endpoint().host_id, s->flag_ptr,
+                            s->dst->simulator()->Now());
+        // Seeded bug (explorer self-validation): act on the payload as if
+        // the flag were already set.
+        if (!check::MutationEnabled(check::kPrematureFlagTrust)) return false;
+      }
       check::OnFlagTrusted(s->dst->endpoint().host_id, s->flag_ptr,
                            s->dst->simulator()->Now());
       *s->flag_ptr = 0;  // Clear for future use (§3.2).

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/check/mutation.h"
 #include "src/check/rdma_check.h"
 #include "src/sim/trace.h"
 #include "src/util/strings.h"
@@ -145,9 +146,10 @@ void QueuePair::MaybeStartNext() {
   // Posting overhead (doorbell + WQE fetch) before the engine acts — charged
   // once per doorbell, whether it rings one WQE or a chained list. current_
   // stays put until the completion releases the engine, so the closure needs
-  // only `this`.
-  nic_->simulator()->ScheduleAfter(nic_->cost().rdma_post_overhead_ns,
-                                   [this]() { ExecuteCurrent(); });
+  // only `this`. Jittered: the overhead is a point estimate of a noisy
+  // quantity, so the schedule explorer may perturb it.
+  nic_->simulator()->ScheduleAfterJittered(nic_->cost().rdma_post_overhead_ns,
+                                           [this]() { ExecuteCurrent(); });
 }
 
 void QueuePair::ExecuteCurrent() {
@@ -307,20 +309,31 @@ void QueuePair::ExecuteWrite(const SendWorkRequest& wr) {
   }
   ++nic_->stats_.writes;
   nic_->stats_.write_bytes += wr.length;
+  // Seeded bug (explorer self-validation): a retry that resumes from the
+  // delivered cursor instead of rewriting from offset 0 violates the
+  // ascending-delivery contract the flag protocol rests on.
+  uint64_t resume_at = 0;
+  if (check::MutationEnabled(check::kRetryKeepsCursor) && retry_attempts_ > 0 &&
+      mutation_delivered_ < wr.length) {
+    resume_at = mutation_delivered_;
+  }
+  mutation_delivered_ = resume_at;
   nic_->fabric()->Transfer(
-      nic_->host_id(), target_nic->host_id(), wr.length, net::Plane::kRdma,
-      nic_->cost().rdma_nic_processing_ns + EngineDelayNs(wr.length) +
-          DcqcnDelayNs(wr.length),
+      nic_->host_id(), target_nic->host_id(), wr.length - resume_at, net::Plane::kRdma,
+      nic_->cost().rdma_nic_processing_ns + EngineDelayNs(wr.length - resume_at) +
+          DcqcnDelayNs(wr.length - resume_at),
       // Segments land in ascending address order; each is copied for real so
       // a flag-byte poller on the target sees partial tensors faithfully.
       // The WR is read back out of current_ (valid for the wire's lifetime).
-      [this](uint64_t offset, uint64_t length) {
+      [this, resume_at](uint64_t offset, uint64_t length) {
         const SendWorkRequest& cur = current_.front();
-        check::OnWriteSegment(nic_->host_id(), qp_num_, cur.wr_id, offset, length,
-                              nic_->simulator()->Now());
+        check::OnWriteSegment(nic_->host_id(), qp_num_, cur.wr_id, resume_at + offset,
+                              length, nic_->simulator()->Now());
+        mutation_delivered_ = resume_at + offset + length;
         if (cur.copy_bytes) {
-          std::memcpy(reinterpret_cast<uint8_t*>(cur.remote_addr) + offset,
-                      reinterpret_cast<const uint8_t*>(cur.local_addr) + offset, length);
+          std::memcpy(reinterpret_cast<uint8_t*>(cur.remote_addr) + resume_at + offset,
+                      reinterpret_cast<const uint8_t*>(cur.local_addr) + resume_at + offset,
+                      length);
         }
       },
       [this](Status status) { CompleteWire(status, /*deliver_inbound=*/false); },

@@ -265,6 +265,9 @@ class QueuePair {
   QpState state_ = QpState::kReady;
   Status error_cause_;
   int retry_attempts_ = 0;  // Transport retries consumed by the in-flight WR.
+  // Delivered-byte cursor of the in-flight single write, kept only to feed
+  // the check::kRetryKeepsCursor mutation (resume-from-cursor-on-retry bug).
+  uint64_t mutation_delivered_ = 0;
 
   // DCQCN per-QP rate state. Each striped lane is its own QP and so carries
   // its own rate — the striping×CC interaction the benches measure. Rate

@@ -5,7 +5,12 @@
 namespace rdmadl {
 namespace sim {
 
+SchedulePolicy::~SchedulePolicy() = default;
+void SchedulePolicy::BeginEvent(int64_t /*time*/, uint64_t /*seq*/) {}
+void SchedulePolicy::EndEvent(int64_t /*time*/, uint64_t /*seq*/) {}
+
 bool Simulator::Step() {
+  if (policy_ != nullptr) return StepWithPolicy();
   if (heap_.empty()) return false;
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
   Event ev = std::move(heap_.back());
@@ -14,6 +19,45 @@ bool Simulator::Step() {
   now_ = ev.time;
   ++events_dispatched_;
   ev.cb();
+  return true;
+}
+
+bool Simulator::StepWithPolicy() {
+  if (heap_.empty()) return false;
+  // Gather every event tied at the earliest queued time. Heap pops among
+  // equal times come out in ascending seq order, so index i of the group is
+  // the i-th event of the canonical schedule.
+  tie_events_.clear();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+  tie_events_.push_back(std::move(heap_.back()));
+  heap_.pop_back();
+  const int64_t time = tie_events_.front().time;
+  while (!heap_.empty() && heap_.front().time == time) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+    tie_events_.push_back(std::move(heap_.back()));
+    heap_.pop_back();
+  }
+  uint32_t pick = 0;
+  if (tie_events_.size() > 1) {
+    tie_seqs_.clear();
+    for (const Event& ev : tie_events_) tie_seqs_.push_back(ev.seq);
+    pick = policy_->PickTied(tie_seqs_);
+    if (pick >= tie_events_.size()) pick = 0;
+  }
+  Event ev = std::move(tie_events_[pick]);
+  for (size_t i = 0; i < tie_events_.size(); ++i) {
+    if (i == pick) continue;
+    heap_.push_back(std::move(tie_events_[i]));
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+  }
+  tie_events_.clear();
+  CHECK_GE(ev.time, now_);
+  now_ = ev.time;
+  ++events_dispatched_;
+  policy_->BeginEvent(ev.time, ev.seq);
+  ev.cb();
+  // The callback may legitimately uninstall the policy (end of a replay).
+  if (policy_ != nullptr) policy_->EndEvent(ev.time, ev.seq);
   return true;
 }
 

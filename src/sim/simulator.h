@@ -26,6 +26,35 @@ constexpr int64_t Microseconds(double us) { return static_cast<int64_t>(us * 1e3
 constexpr int64_t Milliseconds(double ms) { return static_cast<int64_t>(ms * 1e6); }
 constexpr int64_t Seconds(double s) { return static_cast<int64_t>(s * 1e9); }
 
+// Observes and steers the dispatch loop. The default dispatch order —
+// ascending (time, seq) — is what every normal run uses; a policy exists so
+// the schedule-space explorer (sim/explore.h) can (a) permute same-timestamp
+// ties, the only reorderings that are legal under the cost model, and
+// (b) perturb delays at sites that opted in via ScheduleAfterJittered.
+// With no policy installed the simulator behaves byte-identically to a
+// policy that always picks index 0 and never perturbs.
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy();
+
+  // |seqs| holds the seq numbers of every event ready at the earliest queued
+  // time, in ascending order (the canonical dispatch order). Returns the
+  // index of the event to dispatch next; out-of-range picks fall back to 0.
+  // Called only when two or more events tie.
+  virtual uint32_t PickTied(const std::vector<uint64_t>& seqs) = 0;
+
+  // May adjust a delay passed to ScheduleAfterJittered (poll intervals, NIC
+  // processing overheads — sites where the cost model is a point estimate of
+  // a noisy quantity). Must return a value >= 0.
+  virtual int64_t PerturbDelay(int64_t delay_ns) { return delay_ns; }
+
+  // Bracket the dispatch of every event (tied or not), so a policy can
+  // attribute side effects (e.g. checker-observed memory accesses) to the
+  // event that produced them.
+  virtual void BeginEvent(int64_t time, uint64_t seq);
+  virtual void EndEvent(int64_t time, uint64_t seq);
+};
+
 class Simulator {
  public:
   using Callback = std::function<void()>;
@@ -49,6 +78,23 @@ class Simulator {
     CHECK_GE(delay, 0);
     ScheduleAt(now_ + delay, std::move(cb));
   }
+
+  // Like ScheduleAfter, but the installed SchedulePolicy (if any) may perturb
+  // |delay| within its configured bound. Use at scheduling-noise sites only:
+  // poll intervals, processing overheads — never for fabric segment
+  // deliveries, whose relative times encode intra-transfer causality.
+  void ScheduleAfterJittered(int64_t delay, Callback cb) {
+    if (policy_ != nullptr && delay > 0) {
+      delay = policy_->PerturbDelay(delay);
+      CHECK_GE(delay, 0) << "SchedulePolicy::PerturbDelay returned a negative delay";
+    }
+    ScheduleAfter(delay, std::move(cb));
+  }
+
+  // Installs (or clears, with nullptr) the dispatch policy. The policy must
+  // outlive every Run/Step call made while it is installed.
+  void set_schedule_policy(SchedulePolicy* policy) { policy_ = policy; }
+  SchedulePolicy* schedule_policy() const { return policy_; }
 
   // Runs events until the queue drains, |max_events| fire, or Stop() is
   // called. Returns kDeadlineExceeded if the event cap was hit (usually a
@@ -100,6 +146,10 @@ class Simulator {
   // Pops and dispatches one event. Returns false when the queue is empty.
   bool Step();
 
+  // Step() with a SchedulePolicy installed: gathers the group of events tied
+  // at the earliest time and lets the policy pick which one runs.
+  bool StepWithPolicy();
+
   // Earliest queued event (callers must check empty() first).
   const Event& NextEvent() const { return heap_.front(); }
 
@@ -113,6 +163,11 @@ class Simulator {
   // const_cast a priority_queue's const top() forces, and the vector's
   // capacity survives drain/refill cycles.
   std::vector<Event> heap_;
+  SchedulePolicy* policy_ = nullptr;
+  // Scratch for StepWithPolicy, kept as members so their capacity survives
+  // across steps (the policy path re-heapifies the unchosen tie members).
+  std::vector<Event> tie_events_;
+  std::vector<uint64_t> tie_seqs_;
 };
 
 }  // namespace sim

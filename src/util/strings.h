@@ -26,6 +26,13 @@ std::string StrCat(const Args&... args) {
   return os.str();
 }
 
+// Lowercase hex digits, no "0x" prefix (prepend it at the call site).
+inline std::string Hex(uint64_t value) {
+  std::ostringstream os;
+  os << std::hex << value;
+  return os.str();
+}
+
 // "1.50 KB", "2.00 MB", ... for byte counts.
 std::string HumanBytes(uint64_t bytes);
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/explore.h"
 #include "src/check/testing.h"
 #include "src/net/fabric.h"
 #include "src/net/topology.h"
@@ -479,6 +480,54 @@ TEST(CollectiveConformanceTest, RepeatedOpsOnOneGroupStayExact) {
     ExpectExact(group.get(), count, StrCat("iter=", iter));
   }
   EXPECT_EQ(group->stats().allreduces, 3);
+}
+
+// Schedule-space exploration harness (ISSUE 9). With RDMADL_EXPLORE=16 (the
+// collective_conformance_test_explore ctest entry) the body is replayed
+// across tie permutations and timing perturbations, each replay under a
+// fresh RdmaCheck. Exactness is asserted inside the body, so every explored
+// schedule — not just the canonical one — must reduce to the scalar
+// reference.
+TEST(ExploreHarnessTest, ExploreFlatRingAllReduceStaysExact) {
+  sim::ExploreResult result = check::ExploreForTest(
+      "conformance.flat-ring", [](sim::Simulator& simulator) -> Status {
+        constexpr uint64_t kCount = 1000;
+        net::CostModel cost;
+        net::Fabric fabric(&simulator, cost, /*num_hosts=*/3);
+        rdma::RdmaFabric rdma(&fabric);
+        device::DeviceDirectory directory(&rdma);
+        CollectiveOptions options;
+        options.pipeline_depth = 2;
+        auto group = CollectiveGroup::Create(&directory, {0, 1, 2}, kCount, options);
+        if (!group.ok()) return group.status();
+        for (int r = 0; r < (*group)->size(); ++r) {
+          float* data = (*group)->data(r);
+          for (uint64_t i = 0; i < kCount; ++i) {
+            data[i] = static_cast<float>((r + 1) * (i % 7 + 1));
+          }
+        }
+        auto done = std::make_shared<bool>(false);
+        auto status = std::make_shared<Status>(OkStatus());
+        (*group)->AllReduce(kCount, [done, status](const Status& s) {
+          *status = s;
+          *done = true;
+        });
+        Status run = simulator.RunUntilPredicate([done] { return *done; });
+        if (!run.ok()) return run;
+        if (!status->ok()) return *status;
+        for (int r = 0; r < (*group)->size(); ++r) {
+          const float* data = (*group)->data(r);
+          for (uint64_t i = 0; i < kCount; ++i) {
+            if (data[i] != ReferenceSum(3, i)) {
+              return Internal(StrCat("rank ", r, " element ", i,
+                                     " diverged from the scalar reference"));
+            }
+          }
+        }
+        return OkStatus();
+      });
+  EXPECT_FALSE(result.failure_found) << result.Summary();
+  EXPECT_GE(result.stats.schedules_run, 1);
 }
 
 }  // namespace

@@ -21,11 +21,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <numeric>
 #include <utility>
 #include <vector>
 
+#include "src/check/explore.h"
 #include "src/check/rdma_check.h"
 #include "src/check/testing.h"
 #include "src/collective/collective.h"
@@ -38,6 +40,7 @@
 #include "src/sim/rng.h"
 #include "src/sim/simulator.h"
 #include "src/train/ps_training.h"
+#include "src/util/strings.h"
 
 namespace rdmadl {
 
@@ -602,6 +605,72 @@ TEST(CongestionChaosTest, SeedsOneThroughTenAreCleanAndDeterministic) {
       }
     }
   }
+}
+
+// Schedule-space exploration harness (ISSUE 9). With RDMADL_EXPLORE=16 (the
+// congestion_test_explore ctest entry) a mini incast with tail-drop queues,
+// ECN marking, and DCQCN enabled is replayed across tie permutations and
+// timing perturbations, each replay under a fresh RdmaCheck — reordering the
+// CNP/pause/retry interleavings must never corrupt delivery or trip a
+// protocol invariant.
+TEST(ExploreHarnessTest, ExploreMiniIncastUnderDcqcnStaysClean) {
+  sim::ExploreResult result = check::ExploreForTest(
+      "congestion.mini-incast", [](sim::Simulator& simulator) -> Status {
+        net::CostModel cost;
+        cost.rdma_transport_retry_count = 20;
+        net::TopologyConfig topo;
+        topo.congestion.queue_capacity_bytes = 64 << 10;
+        topo.congestion.ecn_threshold_bytes = 16 << 10;
+        topo.congestion.dcqcn = true;
+        net::Fabric fabric(&simulator, cost, /*num_hosts=*/3, topo);
+        rdma::RdmaFabric rdma(&fabric);
+        device::DeviceDirectory directory(&rdma);
+        auto receiver = device::RdmaDevice::Create(&directory, /*num_cqs=*/2,
+                                                   /*num_qps_per_peer=*/2, Endpoint{0, 7000});
+        auto sender_a = device::RdmaDevice::Create(&directory, /*num_cqs=*/2,
+                                                   /*num_qps_per_peer=*/2, Endpoint{1, 7000});
+        auto sender_b = device::RdmaDevice::Create(&directory, /*num_cqs=*/2,
+                                                   /*num_qps_per_peer=*/2, Endpoint{2, 7000});
+        if (!receiver.ok()) return receiver.status();
+        if (!sender_a.ok()) return sender_a.status();
+        if (!sender_b.ok()) return sender_b.status();
+        constexpr uint64_t kBytes = 128 << 10;
+        auto dst_a = (*receiver)->AllocateMemRegion(kBytes);
+        auto dst_b = (*receiver)->AllocateMemRegion(kBytes);
+        auto src_a = (*sender_a)->AllocateMemRegion(kBytes);
+        auto src_b = (*sender_b)->AllocateMemRegion(kBytes);
+        if (!dst_a.ok()) return dst_a.status();
+        if (!dst_b.ok()) return dst_b.status();
+        if (!src_a.ok()) return src_a.status();
+        if (!src_b.ok()) return src_b.status();
+        std::memset(src_a->data(), 0x11, kBytes);
+        std::memset(src_b->data(), 0x22, kBytes);
+        auto chan_a = (*sender_a)->GetChannel((*receiver)->endpoint(), /*qp_idx=*/0);
+        auto chan_b = (*sender_b)->GetChannel((*receiver)->endpoint(), /*qp_idx=*/0);
+        if (!chan_a.ok()) return chan_a.status();
+        if (!chan_b.ok()) return chan_b.status();
+        auto done = std::make_shared<int>(0);
+        auto failed = std::make_shared<Status>(OkStatus());
+        auto on_done = [done, failed](const Status& s) {
+          if (!s.ok() && failed->ok()) *failed = s;
+          ++*done;
+        };
+        (*chan_a)->Memcpy(src_a->data(), src_a->lkey(), dst_a->Remote().addr, dst_a->rkey(),
+                          kBytes, device::Direction::kLocalToRemote, on_done);
+        (*chan_b)->Memcpy(src_b->data(), src_b->lkey(), dst_b->Remote().addr, dst_b->rkey(),
+                          kBytes, device::Direction::kLocalToRemote, on_done);
+        Status run = simulator.RunUntilPredicate([done] { return *done == 2; });
+        if (!run.ok()) return run;
+        if (!failed->ok()) return *failed;
+        for (uint64_t i = 0; i < kBytes; ++i) {
+          if (dst_a->data()[i] != 0x11 || dst_b->data()[i] != 0x22) {
+            return Internal(StrCat("incast byte ", i, " corrupt after congested delivery"));
+          }
+        }
+        return OkStatus();
+      });
+  EXPECT_FALSE(result.failure_found) << result.Summary();
+  EXPECT_GE(result.stats.schedules_run, 1);
 }
 
 }  // namespace
